@@ -1,0 +1,103 @@
+//===- bench/ablation_design.cpp - Design-choice ablations ------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+// Ablates the design choices DESIGN.md calls out, on three benchmarks
+// with distinct personalities (jess, db, SPECjbb2000):
+//
+//  1. the 1.5% hot-trace threshold (0.5% / 1.5% / 5%) — profile dilution
+//     sensitivity;
+//  2. the decay organizer on/off — phase adaptivity (jbb shifts phases
+//     mid-run);
+//  3. the inline-aware stack walk of Section 3.3 vs the naive
+//     physical-frame walk — how much misattributed traces cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace aoci;
+
+namespace {
+
+const char *Benchmarks[] = {"jess", "db", "SPECjbb2000"};
+
+RunResult runWith(const std::string &Workload, double Scale,
+                  const std::function<void(RunConfig &)> &Tweak) {
+  RunConfig Config;
+  Config.WorkloadName = Workload;
+  Config.Params.Scale = Scale;
+  Config.Policy = PolicyKind::Fixed;
+  Config.MaxDepth = 3;
+  Tweak(Config);
+  return runExperiment(Config);
+}
+
+void printRow(const char *Label, const RunResult &R,
+              const RunResult &Reference) {
+  std::printf("  %-24s wall %12llu (%s)  resident %7llu (%s)  "
+              "fallbacks %8llu\n",
+              Label, static_cast<unsigned long long>(R.WallCycles),
+              formatPercent((static_cast<double>(Reference.WallCycles) /
+                                 static_cast<double>(R.WallCycles) -
+                             1.0) *
+                            100.0)
+                  .c_str(),
+              static_cast<unsigned long long>(R.OptBytesResident),
+              formatPercent(
+                  (static_cast<double>(R.OptBytesResident) /
+                       static_cast<double>(Reference.OptBytesResident) -
+                   1.0) *
+                  100.0)
+                  .c_str(),
+              static_cast<unsigned long long>(R.GuardFallbacks));
+}
+
+} // namespace
+
+int main() {
+  double Scale = 1.0;
+  if (const char *S = std::getenv("AOCI_SCALE"))
+    Scale = std::atof(S);
+
+  for (const char *W : Benchmarks) {
+    std::printf("== %s (fixed, max depth 3; deltas are speedup vs the "
+                "default configuration) ==\n",
+                W);
+    RunResult Default = runWith(W, Scale, [](RunConfig &) {});
+    printRow("default (1.5%, decay, aware)", Default, Default);
+
+    for (double Threshold : {0.005, 0.05}) {
+      RunResult R = runWith(W, Scale, [&](RunConfig &C) {
+        C.Aos.Ai.HotTraceThreshold = Threshold;
+      });
+      printRow(formatString("threshold %.1f%%", Threshold * 100).c_str(),
+               R, Default);
+    }
+    {
+      RunResult R = runWith(W, Scale, [](RunConfig &C) {
+        C.Aos.DecayPeriodSamples = 0; // Disable the decay organizer.
+      });
+      printRow("no decay organizer", R, Default);
+    }
+    {
+      RunResult R = runWith(W, Scale, [](RunConfig &C) {
+        C.Aos.InlineAwareWalk = false; // Naive Section 3.3 walk.
+      });
+      printRow("naive stack walk", R, Default);
+    }
+    {
+      RunResult R = runWith(W, Scale, [](RunConfig &C) {
+        C.Aos.DeepMissingEdges = true; // Chain-position organizer ext.
+      });
+      printRow("deep missing edges", R, Default);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+//===- bench/micro_interp.cpp - VM substrate microbenchmarks ---------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+// google-benchmark microbenchmarks for the VM substrate: interpreter
+// throughput on arithmetic and call-heavy code, inline-plan dispatch, and
+// the optimizing compiler itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/ProgramBuilder.h"
+#include "opt/Compiler.h"
+#include "vm/VirtualMachine.h"
+#include "workload/FigureOne.h"
+#include "workload/WorkloadCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace aoci;
+
+namespace {
+
+Program arithProgram(int64_t Iterations) {
+  ProgramBuilder B;
+  ClassId C = B.addClass("Main");
+  MethodId Main = B.declareMethod(C, "main", MethodKind::Static, 0, true);
+  CodeEmitter E = B.code(Main);
+  E.iconst(0).store(1);
+  emitCountedLoop(E, 0, Iterations, [](CodeEmitter &L) {
+    L.load(1).iconst(3).imul().iconst(7).iadd().iconst(11).irem().store(1);
+  });
+  E.load(1).vreturn();
+  E.finish();
+  B.setEntry(Main);
+  return B.build();
+}
+
+Program callProgram(int64_t Iterations) {
+  ProgramBuilder B;
+  ClassId C = B.addClass("Main");
+  MethodId Leaf = B.declareMethod(C, "leaf", MethodKind::Static, 1, true);
+  {
+    CodeEmitter E = B.code(Leaf);
+    E.load(0).iconst(1).iadd().vreturn();
+    E.finish();
+  }
+  MethodId Main = B.declareMethod(C, "main", MethodKind::Static, 0, true);
+  {
+    CodeEmitter E = B.code(Main);
+    E.iconst(0).store(1);
+    emitCountedLoop(E, 0, Iterations, [&](CodeEmitter &L) {
+      L.load(1).invokeStatic(Leaf).store(1);
+    });
+    E.load(1).vreturn();
+    E.finish();
+  }
+  B.setEntry(Main);
+  return B.build();
+}
+
+void BM_InterpArithmeticLoop(benchmark::State &State) {
+  Program P = arithProgram(10000);
+  for (auto _ : State) {
+    VirtualMachine VM(P);
+    VM.addThread(P.entryMethod());
+    VM.run();
+    benchmark::DoNotOptimize(VM.cycles());
+  }
+  State.SetItemsProcessed(State.iterations() * 10000);
+}
+BENCHMARK(BM_InterpArithmeticLoop);
+
+void BM_InterpCallLoop(benchmark::State &State) {
+  Program P = callProgram(10000);
+  for (auto _ : State) {
+    VirtualMachine VM(P);
+    VM.addThread(P.entryMethod());
+    VM.run();
+    benchmark::DoNotOptimize(VM.cycles());
+  }
+  State.SetItemsProcessed(State.iterations() * 10000);
+}
+BENCHMARK(BM_InterpCallLoop);
+
+void BM_InterpInlinedCallLoop(benchmark::State &State) {
+  Program P = callProgram(10000);
+  MethodId Main = P.entryMethod();
+  MethodId Leaf = P.findMethod("Main.leaf");
+  ClassHierarchy CH(P);
+  CostModel Model;
+  OptimizingCompiler Compiler(P, CH, Model);
+  StaticOracle Oracle(P, CH);
+  for (auto _ : State) {
+    VirtualMachine VM(P);
+    VM.codeManager().install(
+        Compiler.compile(Main, OptLevel::Opt2, Oracle));
+    VM.addThread(Main);
+    VM.run();
+    benchmark::DoNotOptimize(VM.cycles());
+  }
+  State.SetItemsProcessed(State.iterations() * 10000);
+  (void)Leaf;
+}
+BENCHMARK(BM_InterpInlinedCallLoop);
+
+void BM_OptCompileFigureOneRunTest(benchmark::State &State) {
+  FigureOneProgram F = makeFigureOne(1);
+  ClassHierarchy CH(F.P);
+  CostModel Model;
+  OptimizingCompiler Compiler(F.P, CH, Model);
+  InlineRuleSet Rules;
+  {
+    InliningRule R1;
+    R1.T.Context = {{F.RunTest, F.GetSite1}};
+    R1.T.Callee = F.Get;
+    R1.Weight = 50;
+    Rules.add(std::move(R1));
+    InliningRule R2;
+    R2.T.Context = {{F.Get, F.HashCodeSite}, {F.RunTest, F.GetSite1}};
+    R2.T.Callee = F.MyKeyHashCode;
+    R2.Weight = 50;
+    Rules.add(std::move(R2));
+  }
+  ProfileDirectedOracle Oracle(F.P, CH, Rules);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Compiler.compile(F.RunTest, OptLevel::Opt2, Oracle));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_OptCompileFigureOneRunTest);
+
+} // namespace
+
+BENCHMARK_MAIN();

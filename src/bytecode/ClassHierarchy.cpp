@@ -1,0 +1,115 @@
+//===- bytecode/ClassHierarchy.cpp - Subtyping and dispatch --------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/ClassHierarchy.h"
+
+#include <cassert>
+
+using namespace aoci;
+
+ClassHierarchy::ClassHierarchy(const Program &Prog)
+    : P(Prog), NumClasses(Prog.numClasses()) {
+  Subtype.assign(static_cast<size_t>(NumClasses) * NumClasses, false);
+  Dispatch.resize(NumClasses);
+
+  // Classes must be registered supertype-first; the builder guarantees it.
+  for (ClassId C = 0; C != NumClasses; ++C) {
+    const Klass &K = P.klass(C);
+    assert((K.Super == InvalidClassId || K.Super < C) &&
+           "superclass registered after subclass");
+
+    // Subtype row: self, plus everything the super and interfaces reach.
+    auto setRow = [&](ClassId Ancestor) {
+      for (ClassId S = 0; S != NumClasses; ++S)
+        if (subtypeBit(Ancestor, S))
+          Subtype[static_cast<size_t>(C) * NumClasses + S] = true;
+    };
+    Subtype[static_cast<size_t>(C) * NumClasses + C] = true;
+    if (K.Super != InvalidClassId)
+      setRow(K.Super);
+    for (ClassId I : K.Interfaces) {
+      assert(I < C && "interface registered after implementor");
+      setRow(I);
+    }
+
+    // Dispatch table: inherit the super's, then apply local declarations.
+    if (K.Super != InvalidClassId)
+      Dispatch[C] = Dispatch[K.Super];
+    for (MethodId MId : K.Methods) {
+      const Method &M = P.method(MId);
+      if (M.Kind != MethodKind::Virtual && M.Kind != MethodKind::Interface)
+        continue;
+      if (M.IsAbstract)
+        continue;
+      Dispatch[C][M.OverrideRoot] = MId;
+      // A concrete method also answers for itself when somebody dispatches
+      // on the method directly rather than its root.
+      Dispatch[C][MId] = MId;
+    }
+  }
+}
+
+bool ClassHierarchy::isSubtypeOf(ClassId Sub, ClassId Super) const {
+  assert(Sub < NumClasses && Super < NumClasses && "class id out of range");
+  return subtypeBit(Sub, Super);
+}
+
+MethodId ClassHierarchy::resolveVirtual(ClassId Receiver,
+                                        MethodId Root) const {
+  assert(Receiver < NumClasses && "class id out of range");
+  const auto &Table = Dispatch[Receiver];
+  auto It = Table.find(Root);
+  if (It == Table.end())
+    return InvalidMethodId;
+  return It->second;
+}
+
+const std::vector<MethodId> &
+ClassHierarchy::implementations(MethodId Root) const {
+  auto It = ImplCache.find(Root);
+  if (It != ImplCache.end())
+    return It->second;
+
+  std::vector<MethodId> Impls;
+  for (ClassId C = 0; C != NumClasses; ++C) {
+    if (!P.klass(C).isInstantiable())
+      continue;
+    MethodId Impl = resolveVirtual(C, Root);
+    if (Impl == InvalidMethodId)
+      continue;
+    bool Seen = false;
+    for (MethodId Existing : Impls)
+      if (Existing == Impl) {
+        Seen = true;
+        break;
+      }
+    if (!Seen)
+      Impls.push_back(Impl);
+  }
+  return ImplCache.emplace(Root, std::move(Impls)).first->second;
+}
+
+bool ClassHierarchy::canBindWithoutGuard(MethodId Root, MethodId Impl) const {
+  if (!isMonomorphicByCHA(Root))
+    return false;
+  const Method &M = P.method(Impl);
+  // Finality is our stand-in for pre-existence: it is the only property
+  // that survives future class loading in an open-world VM.
+  return M.IsFinal;
+}
+
+std::vector<ClassId> ClassHierarchy::receiversFor(MethodId Root,
+                                                  MethodId Impl) const {
+  std::vector<ClassId> Receivers;
+  for (ClassId C = 0; C != NumClasses; ++C) {
+    if (!P.klass(C).isInstantiable())
+      continue;
+    if (resolveVirtual(C, Root) == Impl)
+      Receivers.push_back(C);
+  }
+  return Receivers;
+}

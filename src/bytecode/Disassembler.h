@@ -1,0 +1,35 @@
+//===- bytecode/Disassembler.h - Textual bytecode dumps ---------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders methods and whole programs as readable text, resolving class,
+/// method, and branch operands symbolically. Used by examples and when
+/// debugging workload generators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_BYTECODE_DISASSEMBLER_H
+#define AOCI_BYTECODE_DISASSEMBLER_H
+
+#include "bytecode/Program.h"
+
+#include <string>
+
+namespace aoci {
+
+/// Renders one instruction, e.g. "invokevirtual Object.hashCode".
+std::string disassembleInstruction(const Program &P, const Instruction &I);
+
+/// Renders a method header plus its numbered body.
+std::string disassembleMethod(const Program &P, MethodId M);
+
+/// Renders the whole program, grouped by class.
+std::string disassembleProgram(const Program &P);
+
+} // namespace aoci
+
+#endif // AOCI_BYTECODE_DISASSEMBLER_H

@@ -1,0 +1,56 @@
+//===- bytecode/Klass.h - Class metadata ------------------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declares Klass: a class or interface in the simulated class hierarchy.
+/// (Named "Klass" in the HotSpot tradition to avoid the C++ keyword.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_BYTECODE_KLASS_H
+#define AOCI_BYTECODE_KLASS_H
+
+#include "bytecode/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace aoci {
+
+/// Static description of a class or interface.
+class Klass {
+public:
+  /// Unqualified name, e.g. "HashMap".
+  std::string Name;
+  /// Superclass, or InvalidClassId for the root class.
+  ClassId Super = InvalidClassId;
+  /// Implemented interfaces (transitively closed by the hierarchy).
+  std::vector<ClassId> Interfaces;
+  /// Number of instance field slots, including inherited ones.
+  uint16_t NumFields = 0;
+  /// True for interfaces: no instances, abstract methods only.
+  bool IsInterface = false;
+  /// True for abstract classes: participate in dispatch but are never
+  /// instantiated.
+  bool IsAbstract = false;
+  /// Methods declared directly on this class (not inherited).
+  std::vector<MethodId> Methods;
+
+  /// Returns this class's id; assigned by the Program when registered.
+  ClassId id() const { return Id; }
+
+  /// True when instances of this class can be allocated.
+  bool isInstantiable() const { return !IsInterface && !IsAbstract; }
+
+private:
+  friend class Program;
+  ClassId Id = InvalidClassId;
+};
+
+} // namespace aoci
+
+#endif // AOCI_BYTECODE_KLASS_H

@@ -1,0 +1,26 @@
+//===- bytecode/Method.cpp - Method metadata and body --------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Method.h"
+
+using namespace aoci;
+
+unsigned Method::machineSize() const {
+  unsigned Size = 0;
+  for (const Instruction &I : Body)
+    Size += I.machineSize();
+  return Size;
+}
+
+std::vector<BytecodeIndex> Method::callSites() const {
+  std::vector<BytecodeIndex> Sites;
+  for (BytecodeIndex I = 0, E = static_cast<BytecodeIndex>(Body.size());
+       I != E; ++I)
+    if (isInvoke(Body[I].Op))
+      Sites.push_back(I);
+  return Sites;
+}

@@ -1,0 +1,209 @@
+//===- bytecode/Opcode.cpp - The AOCI bytecode instruction set -----------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Opcode.h"
+
+#include <cassert>
+
+using namespace aoci;
+
+const char *aoci::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::IConst:
+    return "iconst";
+  case Opcode::ConstNull:
+    return "constnull";
+  case Opcode::LoadLocal:
+    return "load";
+  case Opcode::StoreLocal:
+    return "store";
+  case Opcode::Dup:
+    return "dup";
+  case Opcode::Pop:
+    return "pop";
+  case Opcode::Swap:
+    return "swap";
+  case Opcode::IAdd:
+    return "iadd";
+  case Opcode::ISub:
+    return "isub";
+  case Opcode::IMul:
+    return "imul";
+  case Opcode::IDiv:
+    return "idiv";
+  case Opcode::IRem:
+    return "irem";
+  case Opcode::IAnd:
+    return "iand";
+  case Opcode::IOr:
+    return "ior";
+  case Opcode::IXor:
+    return "ixor";
+  case Opcode::IShl:
+    return "ishl";
+  case Opcode::IShr:
+    return "ishr";
+  case Opcode::INeg:
+    return "ineg";
+  case Opcode::ICmpEq:
+    return "icmpeq";
+  case Opcode::ICmpNe:
+    return "icmpne";
+  case Opcode::ICmpLt:
+    return "icmplt";
+  case Opcode::ICmpLe:
+    return "icmple";
+  case Opcode::ICmpGt:
+    return "icmpgt";
+  case Opcode::ICmpGe:
+    return "icmpge";
+  case Opcode::Goto:
+    return "goto";
+  case Opcode::IfZero:
+    return "ifzero";
+  case Opcode::IfNonZero:
+    return "ifnonzero";
+  case Opcode::IfNull:
+    return "ifnull";
+  case Opcode::IfNonNull:
+    return "ifnonnull";
+  case Opcode::New:
+    return "new";
+  case Opcode::GetField:
+    return "getfield";
+  case Opcode::PutField:
+    return "putfield";
+  case Opcode::NewArray:
+    return "newarray";
+  case Opcode::ArrayLoad:
+    return "arrayload";
+  case Opcode::ArrayStore:
+    return "arraystore";
+  case Opcode::ArrayLength:
+    return "arraylength";
+  case Opcode::InstanceOf:
+    return "instanceof";
+  case Opcode::Work:
+    return "work";
+  case Opcode::InvokeStatic:
+    return "invokestatic";
+  case Opcode::InvokeVirtual:
+    return "invokevirtual";
+  case Opcode::InvokeInterface:
+    return "invokeinterface";
+  case Opcode::InvokeSpecial:
+    return "invokespecial";
+  case Opcode::Return:
+    return "return";
+  case Opcode::ValueReturn:
+    return "vreturn";
+  }
+  assert(false && "unknown opcode");
+  return "<invalid>";
+}
+
+bool aoci::isInvoke(Opcode Op) {
+  switch (Op) {
+  case Opcode::InvokeStatic:
+  case Opcode::InvokeVirtual:
+  case Opcode::InvokeInterface:
+  case Opcode::InvokeSpecial:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool aoci::isBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::Goto:
+  case Opcode::IfZero:
+  case Opcode::IfNonZero:
+  case Opcode::IfNull:
+  case Opcode::IfNonNull:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool aoci::isReturn(Opcode Op) {
+  return Op == Opcode::Return || Op == Opcode::ValueReturn;
+}
+
+unsigned aoci::machineWeight(Opcode Op, int64_t Operand) {
+  switch (Op) {
+  case Opcode::Nop:
+    return 0;
+  case Opcode::IConst:
+  case Opcode::ConstNull:
+  case Opcode::LoadLocal:
+  case Opcode::StoreLocal:
+  case Opcode::Dup:
+  case Opcode::Pop:
+  case Opcode::Swap:
+    return 1;
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+  case Opcode::IXor:
+  case Opcode::IShl:
+  case Opcode::IShr:
+  case Opcode::INeg:
+    return 1;
+  case Opcode::IDiv:
+  case Opcode::IRem:
+    return 2;
+  case Opcode::ICmpEq:
+  case Opcode::ICmpNe:
+  case Opcode::ICmpLt:
+  case Opcode::ICmpLe:
+  case Opcode::ICmpGt:
+  case Opcode::ICmpGe:
+    return 2;
+  case Opcode::Goto:
+    return 1;
+  case Opcode::IfZero:
+  case Opcode::IfNonZero:
+  case Opcode::IfNull:
+  case Opcode::IfNonNull:
+    return 2;
+  case Opcode::New:
+    return 6;
+  case Opcode::GetField:
+  case Opcode::PutField:
+    return 2;
+  case Opcode::NewArray:
+    return 6;
+  case Opcode::ArrayLoad:
+  case Opcode::ArrayStore:
+    return 3;
+  case Opcode::ArrayLength:
+    return 1;
+  case Opcode::InstanceOf:
+    return 3;
+  case Opcode::Work:
+    // One machine instruction per work unit: Work models straight-line
+    // compute kernels, so its footprint scales with its magnitude.
+    return Operand < 1 ? 1 : static_cast<unsigned>(Operand);
+  case Opcode::InvokeStatic:
+  case Opcode::InvokeSpecial:
+    return 3;
+  case Opcode::InvokeVirtual:
+  case Opcode::InvokeInterface:
+    return 4;
+  case Opcode::Return:
+  case Opcode::ValueReturn:
+    return 1;
+  }
+  assert(false && "unknown opcode");
+  return 1;
+}

@@ -1,0 +1,100 @@
+//===- bytecode/Opcode.h - The AOCI bytecode instruction set ----*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines the opcode enumeration for the Java-like stack bytecode the VM
+/// substrate executes. The ISA is deliberately small but expressive enough
+/// to encode the behavioural signatures of the paper's benchmarks:
+/// arithmetic loops, object allocation, field traffic, arrays, conditional
+/// control flow, and all four invocation kinds (static, virtual, interface,
+/// special).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_BYTECODE_OPCODE_H
+#define AOCI_BYTECODE_OPCODE_H
+
+#include <cstdint>
+
+namespace aoci {
+
+/// Bytecode opcodes. Stack effects are documented per opcode; "A" refers
+/// to the instruction's immediate operand.
+enum class Opcode : uint8_t {
+  Nop,         ///< No effect.
+  IConst,      ///< push A.
+  ConstNull,   ///< push null reference.
+  LoadLocal,   ///< push locals[A].
+  StoreLocal,  ///< locals[A] = pop.
+  Dup,         ///< push top-of-stack again.
+  Pop,         ///< discard top-of-stack.
+  Swap,        ///< exchange the two top stack values.
+  IAdd,        ///< b = pop, a = pop, push a + b.
+  ISub,        ///< b = pop, a = pop, push a - b.
+  IMul,        ///< b = pop, a = pop, push a * b.
+  IDiv,        ///< b = pop, a = pop, push a / b (0 if b == 0).
+  IRem,        ///< b = pop, a = pop, push a % b (0 if b == 0).
+  IAnd,        ///< b = pop, a = pop, push a & b.
+  IOr,         ///< b = pop, a = pop, push a | b.
+  IXor,        ///< b = pop, a = pop, push a ^ b.
+  IShl,        ///< b = pop, a = pop, push a << (b & 63).
+  IShr,        ///< b = pop, a = pop, push a >> (b & 63).
+  INeg,        ///< a = pop, push -a.
+  ICmpEq,      ///< b = pop, a = pop, push a == b ? 1 : 0.
+  ICmpNe,      ///< Likewise for !=.
+  ICmpLt,      ///< Likewise for <.
+  ICmpLe,      ///< Likewise for <=.
+  ICmpGt,      ///< Likewise for >.
+  ICmpGe,      ///< Likewise for >=.
+  Goto,        ///< pc = A.
+  IfZero,      ///< a = pop, if a == 0 then pc = A.
+  IfNonZero,   ///< a = pop, if a != 0 then pc = A.
+  IfNull,      ///< r = pop, if r is null then pc = A.
+  IfNonNull,   ///< r = pop, if r is non-null then pc = A.
+  New,         ///< push new instance of class A.
+  GetField,    ///< r = pop, push r.fields[A].
+  PutField,    ///< v = pop, r = pop, r.fields[A] = v.
+  NewArray,    ///< n = pop, push new array of length n (elements null/0).
+  ArrayLoad,   ///< i = pop, r = pop, push r[i].
+  ArrayStore,  ///< v = pop, i = pop, r = pop, r[i] = v.
+  ArrayLength, ///< r = pop, push length(r).
+  InstanceOf,  ///< r = pop, push (r non-null && class(r) <: A) ? 1 : 0.
+  Work,        ///< Pure computation consuming A abstract work units.
+  InvokeStatic,    ///< Call static method A; pops its arguments.
+  InvokeVirtual,   ///< Call virtual method A; pops arguments then receiver.
+  InvokeInterface, ///< Interface dispatch to method A; same stack effect.
+  InvokeSpecial,   ///< Non-virtual instance call to A (ctors, private).
+  Return,      ///< Return void from the current method.
+  ValueReturn, ///< v = pop, return v.
+};
+
+/// Number of distinct opcodes; kept in sync with the enum for table sizing.
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::ValueReturn) + 1;
+
+/// Returns the mnemonic for \p Op (e.g. "invokevirtual").
+const char *opcodeName(Opcode Op);
+
+/// Returns true for the four Invoke* opcodes.
+bool isInvoke(Opcode Op);
+
+/// Returns true for opcodes that transfer control (Goto and conditional
+/// branches); invokes and returns are not included.
+bool isBranch(Opcode Op);
+
+/// Returns true for Return and ValueReturn.
+bool isReturn(Opcode Op);
+
+/// Estimated number of machine instructions the optimizing compiler would
+/// emit for \p Op. This drives the paper's size classification of methods
+/// (tiny/small/medium/large are defined as multiples of the size of a call,
+/// Section 3.1) and the bytes-of-machine-code accounting behind Figure 5.
+/// \p Operand is consulted for Work, whose cost scales with its immediate.
+unsigned machineWeight(Opcode Op, int64_t Operand);
+
+} // namespace aoci
+
+#endif // AOCI_BYTECODE_OPCODE_H

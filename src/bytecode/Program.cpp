@@ -1,0 +1,47 @@
+//===- bytecode/Program.cpp - A whole bytecode program -------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Program.h"
+
+using namespace aoci;
+
+ClassId Program::addClass(Klass K) {
+  ClassId Id = static_cast<ClassId>(Classes.size());
+  K.Id = Id;
+  Classes.push_back(std::move(K));
+  return Id;
+}
+
+MethodId Program::addMethod(Method M) {
+  MethodId Id = static_cast<MethodId>(Methods.size());
+  M.Id = Id;
+  if (M.OverrideRoot == InvalidMethodId)
+    M.OverrideRoot = Id;
+  assert(M.Owner < Classes.size() && "method owner not registered");
+  Classes[M.Owner].Methods.push_back(Id);
+  Methods.push_back(std::move(M));
+  return Id;
+}
+
+std::string Program::qualifiedName(MethodId Id) const {
+  const Method &M = method(Id);
+  return klass(M.Owner).Name + "." + M.Name;
+}
+
+uint64_t Program::totalBytecodes() const {
+  uint64_t Total = 0;
+  for (const Method &M : Methods)
+    Total += M.bytecodeCount();
+  return Total;
+}
+
+MethodId Program::findMethod(const std::string &Qualified) const {
+  for (const Method &M : Methods)
+    if (qualifiedName(M.id()) == Qualified)
+      return M.id();
+  return InvalidMethodId;
+}

@@ -1,0 +1,72 @@
+//===- bytecode/SizeClass.h - Method size classification --------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 3.1 size taxonomy. Jikes RVM classifies inlining
+/// candidates by estimated generated-code size relative to the size of a
+/// call sequence: tiny (< 2x call), small (2-5x), medium (5-25x), large
+/// (>= 25x, never inlined). Both the inlining oracle and the Large-Methods
+/// early-termination policy of Section 4.3 consume this classification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_BYTECODE_SIZECLASS_H
+#define AOCI_BYTECODE_SIZECLASS_H
+
+#include "bytecode/Method.h"
+
+namespace aoci {
+
+/// Size category of an inlining candidate (Section 3.1).
+enum class SizeClass : uint8_t {
+  Tiny,   ///< < 2x a call; unconditionally inlined when statically bound
+          ///< without a guard.
+  Small,  ///< 2-5x a call; inlined when statically bindable (possibly with
+          ///< a guard), subject to expansion/depth budgets.
+  Medium, ///< 5-25x a call; candidate only for profile-directed inlining.
+  Large,  ///< >= 25x a call; never inlined.
+};
+
+/// Machine-instruction footprint of a full call sequence (argument setup,
+/// the call itself, and the callee's prologue/epilogue). The multipliers
+/// in SizeClass are relative to this.
+constexpr unsigned CallSequenceSize = 8;
+
+/// Classifies an estimated machine size.
+inline SizeClass classifySize(unsigned MachineUnits) {
+  if (MachineUnits < 2 * CallSequenceSize)
+    return SizeClass::Tiny;
+  if (MachineUnits < 5 * CallSequenceSize)
+    return SizeClass::Small;
+  if (MachineUnits < 25 * CallSequenceSize)
+    return SizeClass::Medium;
+  return SizeClass::Large;
+}
+
+/// Classifies a method by its body's machine size.
+inline SizeClass classifyMethod(const Method &M) {
+  return classifySize(M.machineSize());
+}
+
+/// Printable name of a size class.
+inline const char *sizeClassName(SizeClass S) {
+  switch (S) {
+  case SizeClass::Tiny:
+    return "tiny";
+  case SizeClass::Small:
+    return "small";
+  case SizeClass::Medium:
+    return "medium";
+  case SizeClass::Large:
+    return "large";
+  }
+  return "<invalid>";
+}
+
+} // namespace aoci
+
+#endif // AOCI_BYTECODE_SIZECLASS_H

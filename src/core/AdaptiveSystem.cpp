@@ -1,0 +1,163 @@
+//===- core/AdaptiveSystem.cpp - The adaptive optimization system ----------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AdaptiveSystem.h"
+
+#include <cassert>
+
+using namespace aoci;
+
+AdaptiveSystem::AdaptiveSystem(VirtualMachine &VM, ContextPolicy &Policy,
+                               AosSystemConfig Config)
+    : VM(VM), Policy(Policy), Config(Config),
+      MethodL(Config.MethodBufferCapacity),
+      TraceL(Policy, Config.TraceBufferCapacity, Config.InlineAwareWalk),
+      AiOrg(Config.Ai),
+      Ctrl(VM.program(), VM.costModel(), Config.ControllerCfg),
+      Compiler(VM.program(), VM.hierarchy(), VM.costModel()) {}
+
+void AdaptiveSystem::seedProfile(const DynamicCallGraph &Training) {
+  Training.forEach(
+      [&](const Trace &T, double Weight) { Dcg.addSample(T, Weight); });
+  AiOrg.rebuildRules(VM.program(), Dcg, /*NowCycle=*/0, Rules);
+}
+
+void AdaptiveSystem::onSample(VirtualMachine &SampledVm, ThreadState &Thread,
+                              bool AtPrologue) {
+  assert(&SampledVm == &VM && "system attached to a different VM");
+  (void)SampledVm;
+  ++Stats.SamplesSeen;
+
+  // Listeners record raw data into their buffers; a full buffer wakes the
+  // owning organizer (Section 3.2).
+  if (MethodL.sample(VM, Thread))
+    methodOrganizerWakeup();
+  if (AtPrologue && TraceL.sample(VM, Thread))
+    dcgOrganizerWakeup();
+
+  if (Config.DecayPeriodSamples &&
+      Stats.SamplesSeen % Config.DecayPeriodSamples == 0)
+    decayWakeup();
+  if (Config.MissingEdgePeriodSamples &&
+      Stats.SamplesSeen % Config.MissingEdgePeriodSamples == 0)
+    missingEdgeWakeup();
+
+  processCompilationQueue();
+}
+
+void AdaptiveSystem::methodOrganizerWakeup() {
+  ++Stats.MethodOrganizerWakeups;
+  std::vector<MethodId> Samples = MethodL.drain();
+  VM.chargeAos(AosComponent::MethodOrganizer,
+               Config.OrganizerWakeupCost +
+                   Config.MethodOrganizerPerSampleCost * Samples.size());
+
+  // The controller reads the organizer's event and applies the analytic
+  // model.
+  std::vector<CompilationRequest> Requests =
+      Ctrl.onMethodSamples(Samples, VM.codeManager());
+  VM.chargeAos(AosComponent::Controller,
+               Config.ControllerBatchCost +
+                   Config.ControllerPerRequestCost * Requests.size());
+  for (CompilationRequest &R : Requests) {
+    ++Stats.ControllerRequests;
+    CompileQueue.push_back(R);
+  }
+}
+
+void AdaptiveSystem::dcgOrganizerWakeup() {
+  ++Stats.DcgOrganizerWakeups;
+  std::vector<Trace> Traces = TraceL.drain();
+  VM.chargeAos(AosComponent::AiOrganizer,
+               Config.OrganizerWakeupCost +
+                   Config.DcgPerTraceCost * Traces.size());
+  for (const Trace &T : Traces)
+    Dcg.addSample(T);
+
+  // Adaptive-imprecision maintenance: ask for more context at sites whose
+  // per-context receiver distributions are still unskewed.
+  if (ImprecisionTable *Table = Policy.imprecisionTable()) {
+    size_t Scanned = updateImprecisionTable(Dcg, *Table, Policy.maxDepth(),
+                                            Config.Imprecision);
+    VM.chargeAos(AosComponent::AiOrganizer,
+                 Config.ImprecisionPerSiteCost * Scanned);
+  }
+
+  // The adaptive inlining organizer recodifies the rule set.
+  size_t Scanned = AiOrg.rebuildRules(VM.program(), Dcg, VM.cycles(), Rules);
+  VM.chargeAos(AosComponent::AiOrganizer, Config.AiPerScanCost * Scanned);
+}
+
+void AdaptiveSystem::decayWakeup() {
+  ++Stats.DecayWakeups;
+  const size_t Entries = Dcg.numTraces();
+  Dcg.decay(Config.DecayFactor);
+  Ctrl.decaySamples();
+  VM.chargeAos(AosComponent::DecayOrganizer,
+               Config.OrganizerWakeupCost +
+                   Config.DecayPerEntryCost * Entries);
+}
+
+void AdaptiveSystem::missingEdgeWakeup() {
+  ++Stats.MissingEdgeWakeups;
+  std::vector<MethodId> Hot = Ctrl.hotMethods();
+  std::vector<MethodId> Missing =
+      findMissingEdges(VM.program(), VM.codeManager(), Rules, Db, Hot,
+                       Config.DeepMissingEdges);
+  VM.chargeAos(AosComponent::AiOrganizer,
+               Config.OrganizerWakeupCost +
+                   Config.MissingEdgePerMethodCost * Hot.size());
+  for (MethodId M : Missing) {
+    if (!Ctrl.tryMarkInFlight(M))
+      continue;
+    const CodeVariant *V = VM.codeManager().current(M);
+    assert(V && V->Level != OptLevel::Baseline &&
+           "missing-edge candidates are optimized methods");
+    ++Stats.MissingEdgeRequests;
+    CompileQueue.push_back(CompilationRequest{M, V->Level, true});
+  }
+}
+
+void AdaptiveSystem::processCompilationQueue() {
+  while (!CompileQueue.empty()) {
+    CompilationRequest Request = CompileQueue.front();
+    CompileQueue.pop_front();
+
+    const CodeVariant *Current = VM.codeManager().current(Request.M);
+    // Skip stale upgrade requests (already at or above the target level,
+    // unless this is a same-level rule-refresh recompilation).
+    if (Current && !Request.ForceSameLevel &&
+        static_cast<unsigned>(Current->Level) >=
+            static_cast<unsigned>(Request.Level)) {
+      Ctrl.notifyInstalled(Request.M);
+      continue;
+    }
+
+    ProfileDirectedOracle Oracle(VM.program(), VM.hierarchy(), Rules,
+                                 Config.Inliner);
+    std::unique_ptr<CodeVariant> Variant =
+        Compiler.compile(Request.M, Request.Level, Oracle, &Db);
+    // The compilation thread's cycles are wall-clock time on a
+    // uniprocessor and AOS overhead in the Figure 6 breakdown.
+    VM.chargeAos(AosComponent::Compilation, Variant->CompileCycles);
+    Variant->CompiledAtCycle = VM.cycles();
+
+    CompilationEvent Event;
+    Event.M = Request.M;
+    Event.Level = Variant->Level;
+    Event.AtCycle = VM.cycles();
+    Event.CompileCycles = Variant->CompileCycles;
+    Event.CodeBytes = Variant->CodeBytes;
+    Event.InlineBodies = Variant->Plan.NumInlineBodies;
+    Event.Guards = Variant->Plan.NumGuards;
+    Db.recordCompilation(Event);
+
+    VM.codeManager().install(std::move(Variant));
+    Ctrl.notifyInstalled(Request.M);
+    ++Stats.OptCompilations;
+  }
+}

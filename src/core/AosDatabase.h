@@ -1,0 +1,98 @@
+//===- core/AosDatabase.h - The AOS decision repository ---------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "The AOS database is a central repository for recording and querying
+/// various compilation decisions and events. One use of this repository
+/// is by the inlining system to record refusals by the optimizing
+/// compiler to inline particular call edges. This information is used by
+/// the AI missing edge organizer to avoid recommending a method for
+/// recompilation due to a hot call edge that the optimizing compiler has
+/// already refused to inline." (Section 3.2)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_CORE_AOSDATABASE_H
+#define AOCI_CORE_AOSDATABASE_H
+
+#include "opt/Compiler.h"
+#include "profile/Context.h"
+#include "vm/CostModel.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace aoci {
+
+/// One recompilation event, kept for diagnostics and tests.
+struct CompilationEvent {
+  MethodId M = InvalidMethodId;
+  OptLevel Level = OptLevel::Baseline;
+  uint64_t AtCycle = 0;
+  uint64_t CompileCycles = 0;
+  uint64_t CodeBytes = 0;
+  unsigned InlineBodies = 0;
+  unsigned Guards = 0;
+};
+
+/// The AOS database: inlining refusals plus the compilation event log.
+class AosDatabase : public InlineRefusalSink {
+public:
+  //===--------------------------------------------------------------------===//
+  // Refusals (InlineRefusalSink)
+  //===--------------------------------------------------------------------===//
+
+  void recordRefusal(MethodId Compiled, const Trace &Edge) override;
+
+  /// True when the compiler refused \p Edge during some compilation of
+  /// \p Compiled.
+  bool isRefused(MethodId Compiled, const Trace &Edge) const;
+
+  size_t numRefusals() const { return NumRefusals; }
+
+  //===--------------------------------------------------------------------===//
+  // Compilation events
+  //===--------------------------------------------------------------------===//
+
+  void recordCompilation(CompilationEvent Event) {
+    Events.push_back(Event);
+  }
+
+  const std::vector<CompilationEvent> &compilationEvents() const {
+    return Events;
+  }
+
+  /// Number of optimizing (non-baseline) compilations of \p M.
+  unsigned numOptCompilesOf(MethodId M) const;
+
+private:
+  /// Refusal keys: (compiled method, edge caller, edge site, callee).
+  struct RefusalKey {
+    MethodId Compiled;
+    ContextPair Edge;
+    MethodId Callee;
+    bool operator==(const RefusalKey &O) const {
+      return Compiled == O.Compiled && Edge == O.Edge && Callee == O.Callee;
+    }
+  };
+  struct RefusalKeyHash {
+    size_t operator()(const RefusalKey &K) const {
+      ContextPairHash H;
+      return H(K.Edge) ^ (static_cast<size_t>(K.Compiled) * 0x9e3779b9) ^
+             (static_cast<size_t>(K.Callee) << 1);
+    }
+  };
+
+  std::unordered_set<RefusalKey, RefusalKeyHash> Refusals;
+  size_t NumRefusals = 0;
+  std::vector<CompilationEvent> Events;
+};
+
+} // namespace aoci
+
+#endif // AOCI_CORE_AOSDATABASE_H

@@ -1,0 +1,97 @@
+//===- core/Controller.cpp - The analytic recompilation controller ---------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Controller.h"
+
+#include <algorithm>
+
+using namespace aoci;
+
+OptLevel Controller::chooseLevel(MethodId M, OptLevel Current,
+                                 double SampleCount) const {
+  const double FutureAtCurrent =
+      SampleCount * static_cast<double>(Model.SamplePeriodCycles);
+
+  const uint64_t EstimatedUnits = static_cast<uint64_t>(
+      static_cast<double>(P.method(M).machineSize()) * Config.ExpansionGuess);
+
+  OptLevel Best = Current;
+  double BestCost = FutureAtCurrent;
+  for (unsigned L = static_cast<unsigned>(Current) + 1;
+       L <= static_cast<unsigned>(Config.MaxLevel); ++L) {
+    const OptLevel Candidate = static_cast<OptLevel>(L);
+    const double FutureAtCandidate =
+        FutureAtCurrent / Model.speedRatio(Current, Candidate);
+    const double Cost =
+        static_cast<double>(Model.compileCycles(Candidate, EstimatedUnits)) +
+        FutureAtCandidate;
+    if (Cost < BestCost) {
+      BestCost = Cost;
+      Best = Candidate;
+    }
+  }
+  return Best;
+}
+
+std::vector<CompilationRequest>
+Controller::onMethodSamples(const std::vector<MethodId> &Samples,
+                            const CodeManager &Code) {
+  std::vector<CompilationRequest> Requests;
+
+  // Accumulate, remembering which methods this batch touched.
+  std::vector<MethodId> Touched;
+  for (MethodId M : Samples) {
+    SampleCounts[M] += 1.0;
+    Touched.push_back(M);
+  }
+  std::sort(Touched.begin(), Touched.end());
+  Touched.erase(std::unique(Touched.begin(), Touched.end()), Touched.end());
+
+  for (MethodId M : Touched) {
+    if (InFlight[M])
+      continue;
+    const CodeVariant *V = Code.current(M);
+    if (!V)
+      continue; // Never executed? Cannot be hot.
+    const OptLevel Target = chooseLevel(M, V->Level, SampleCounts[M]);
+    if (Target == V->Level)
+      continue;
+    InFlight[M] = true;
+    Requests.push_back(CompilationRequest{M, Target, false});
+  }
+  return Requests;
+}
+
+void Controller::notifyInstalled(MethodId M) { InFlight[M] = false; }
+
+bool Controller::tryMarkInFlight(MethodId M) {
+  if (InFlight[M])
+    return false;
+  InFlight[M] = true;
+  return true;
+}
+
+void Controller::decaySamples() {
+  for (auto &[M, Count] : SampleCounts) {
+    (void)M;
+    Count *= Config.SampleDecayFactor;
+  }
+}
+
+double Controller::samples(MethodId M) const {
+  auto It = SampleCounts.find(M);
+  return It == SampleCounts.end() ? 0 : It->second;
+}
+
+std::vector<MethodId> Controller::hotMethods() const {
+  std::vector<MethodId> Hot;
+  for (const auto &[M, Count] : SampleCounts)
+    if (Count >= Config.HotMethodSamples)
+      Hot.push_back(M);
+  std::sort(Hot.begin(), Hot.end());
+  return Hot;
+}

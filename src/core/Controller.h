@@ -1,0 +1,104 @@
+//===- core/Controller.h - The analytic recompilation controller -*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The controller of Section 3.2: it reads organizer events (here, hot
+/// method sample batches) and uses the Jikes analytic cost/benefit model
+/// to decide recompilations. For a method m with decayed sample count S:
+///
+///   futureTime(cur)  = S * samplePeriod          (future ~ past)
+///   futureTime(j)    = futureTime(cur) * speed(cur) / speed(j)
+///   choose the level j minimizing compileCost(j) + futureTime(j),
+///   recompiling only when that beats futureTime(cur).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_CORE_CONTROLLER_H
+#define AOCI_CORE_CONTROLLER_H
+
+#include "bytecode/Program.h"
+#include "vm/CodeManager.h"
+#include "vm/CostModel.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace aoci {
+
+/// Controller tuning.
+struct ControllerConfig {
+  /// Expected code growth from inlining, used to estimate compile cost
+  /// before the plan exists.
+  double ExpansionGuess = 1.8;
+  /// Periodic decay applied to sample counts (phase adaptivity).
+  double SampleDecayFactor = 0.95;
+  /// Sample count at or above which a method counts as "hot" for the
+  /// missing-edge organizer's scan set.
+  double HotMethodSamples = 3.0;
+  /// Highest optimization level the controller will request.
+  OptLevel MaxLevel = OptLevel::Opt2;
+};
+
+/// A recompilation the controller decided on.
+struct CompilationRequest {
+  MethodId M = InvalidMethodId;
+  OptLevel Level = OptLevel::Baseline;
+  /// True when the request re-applies the current level to pick up new
+  /// inlining rules (missing-edge recompilation).
+  bool ForceSameLevel = false;
+};
+
+/// The controller: accumulates decayed method sample counts and produces
+/// recompilation requests.
+class Controller {
+public:
+  Controller(const Program &P, const CostModel &Model,
+             ControllerConfig Config = ControllerConfig())
+      : P(P), Model(Model), Config(Config) {}
+
+  /// Feeds a drained method-sample batch; returns the recompilation
+  /// requests the analytic model makes. A method is requested at most
+  /// once until notifyInstalled() reports its compilation finished.
+  std::vector<CompilationRequest>
+  onMethodSamples(const std::vector<MethodId> &Samples,
+                  const CodeManager &Code);
+
+  /// Clears the in-flight marker after a variant for \p M is installed.
+  void notifyInstalled(MethodId M);
+
+  /// Marks \p M in-flight on behalf of another organizer (the
+  /// missing-edge organizer's same-level recompilations). Returns false
+  /// when a compilation of \p M is already pending.
+  bool tryMarkInFlight(MethodId M);
+
+  /// Applies the decay organizer's scaling to sample counts.
+  void decaySamples();
+
+  /// Current decayed sample count of \p M.
+  double samples(MethodId M) const;
+
+  /// Methods whose decayed sample count is at least HotMethodSamples,
+  /// sorted by id. This is the missing-edge organizer's scan set.
+  std::vector<MethodId> hotMethods() const;
+
+  const ControllerConfig &config() const { return Config; }
+
+private:
+  /// Analytic model: best level for \p M given its samples, or the
+  /// current level when staying put wins.
+  OptLevel chooseLevel(MethodId M, OptLevel Current, double SampleCount) const;
+
+  const Program &P;
+  const CostModel &Model;
+  ControllerConfig Config;
+  std::unordered_map<MethodId, double> SampleCounts;
+  std::unordered_map<MethodId, bool> InFlight;
+};
+
+} // namespace aoci
+
+#endif // AOCI_CORE_CONTROLLER_H

@@ -1,0 +1,230 @@
+//===- core/Organizers.cpp - AOS organizers --------------------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Organizers.h"
+
+#include "bytecode/SizeClass.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace aoci;
+
+size_t AdaptiveInliningOrganizer::rebuildRules(const Program &P,
+                                               const DynamicCallGraph &Dcg,
+                                               uint64_t NowCycle,
+                                               InlineRuleSet &Rules) const {
+  const double Total = Dcg.totalWeight();
+  if (Total <= 0) {
+    Rules.clear();
+    return 0;
+  }
+  const double Threshold =
+      std::max(Config.MinRuleWeight, Config.HotTraceThreshold * Total);
+
+  size_t Scanned = 0;
+  InlineRuleSet Fresh;
+  Dcg.forEach([&](const Trace &T, double Weight) {
+    ++Scanned;
+    if (Weight < Threshold)
+      return;
+    const Method &Callee = P.method(T.Callee);
+    // Rules target inlinable callees only: the compiler would refuse
+    // large or abstract callees unconditionally, so codifying them would
+    // only generate recompilation churn.
+    if (Callee.IsAbstract || classifyMethod(Callee) == SizeClass::Large)
+      return;
+    InliningRule Rule;
+    Rule.T = T;
+    Rule.Weight = Weight;
+    // A rule that merely persists across rebuilds is not new: preserve
+    // its original creation time so the missing-edge organizer only
+    // reacts to genuinely new hot edges.
+    const InliningRule *Existing = Rules.find(T);
+    Rule.CreatedAtCycle = Existing ? Existing->CreatedAtCycle : NowCycle;
+    Fresh.add(std::move(Rule));
+  });
+  Rules = std::move(Fresh);
+  return Scanned;
+}
+
+size_t aoci::updateImprecisionTable(const DynamicCallGraph &Dcg,
+                                    ImprecisionTable &Table,
+                                    unsigned MaxDepth,
+                                    const ImprecisionConfig &Config) {
+  const std::vector<ContextPair> Sites = Dcg.allSites();
+  for (const ContextPair &Site : Sites) {
+    if (Table.gaveUp(Site.Caller, Site.Site) ||
+        Table.isResolved(Site.Caller, Site.Site))
+      continue;
+    DynamicCallGraph::SiteDistribution Dist =
+        Dcg.siteDistribution(Site.Caller, Site.Site);
+    if (Dist.Total < Config.MinGroupWeight)
+      continue;
+    if (Dist.ByCallee.size() <= 1)
+      continue; // Monomorphic so far: nothing to resolve.
+
+    // Judge only traces at the depth currently requested for the site:
+    // stale shallower traces would otherwise keep looking unskewed
+    // forever after a raise.
+    const unsigned CurrentDepth = Table.depthFor(Site.Caller, Site.Site);
+    const double Skew =
+        Dcg.minContextSkew(Site.Caller, Site.Site, Config.MinGroupWeight,
+                           CurrentDepth);
+    if (Skew < 0)
+      continue; // Not enough data at this depth yet.
+    if (Skew >= Config.SkewThreshold) {
+      // Every observed context now predicts a near-single target: freeze
+      // the depth the site has reached.
+      if (Table.depthFor(Site.Caller, Site.Site) > 1)
+        Table.markResolved(Site.Caller, Site.Site);
+      continue;
+    }
+    Table.raise(Site.Caller, Site.Site, MaxDepth, Config.GiveUpAfter);
+  }
+  return Sites.size();
+}
+
+bool aoci::planRealizesRule(const InlinePlan &Plan, const InliningRule &Rule,
+                            size_t PosOfOwner) {
+  assert(PosOfOwner < Rule.T.Context.size() && "owner not in context");
+  const InlineNode *Node = &Plan.Root;
+  // Walk from the owner's position inward: at each level, the call site
+  // must be decided and the case for the next chain element must exist.
+  for (size_t I = PosOfOwner + 1; I-- > 0;) {
+    const ContextPair &Pair = Rule.T.Context[I];
+    const InlineNode::SiteDecision *Decision = Node->find(Pair.Site);
+    if (!Decision)
+      return false;
+    const MethodId Expected =
+        I == 0 ? Rule.T.Callee : Rule.T.Context[I - 1].Caller;
+    const InlineCase *Found = nullptr;
+    for (const InlineCase &Case : Decision->Cases)
+      if (Case.Callee == Expected)
+        Found = &Case;
+    if (!Found)
+      return false;
+    if (I == 0)
+      return true;
+    if (!Found->Body)
+      return false;
+    Node = Found->Body.get();
+  }
+  return true;
+}
+
+std::vector<MethodId>
+aoci::findMissingEdges(const Program &P, const CodeManager &Code,
+                       const InlineRuleSet &Rules, const AosDatabase &Db,
+                       const std::vector<MethodId> &HotMethods,
+                       bool DeepChains) {
+  (void)P;
+  std::vector<bool> Hot;
+  for (MethodId M : HotMethods) {
+    if (M >= Hot.size())
+      Hot.resize(M + 1, false);
+    Hot[M] = true;
+  }
+
+  // True when every intermediate edge of \p Rule's chain above position
+  // zero up to \p Pos is itself backed by some rule — without that, a
+  // recompilation of the outer caller could never inline the chain and
+  // would only churn.
+  auto chainSupported = [&](const InliningRule &Rule, size_t Pos,
+                            MethodId Compiled) {
+    for (size_t I = 1; I <= Pos; ++I) {
+      const MethodId ChainCallee = Rule.T.Context[I - 1].Caller;
+      bool Supported = false;
+      for (const InliningRule *EdgeRule :
+           Rules.applicableRules({Rule.T.Context[I]}))
+        if (EdgeRule->T.Callee == ChainCallee)
+          Supported = true;
+      if (!Supported)
+        return false;
+      Trace ChainEdge;
+      ChainEdge.Context.push_back(Rule.T.Context[I]);
+      ChainEdge.Callee = ChainCallee;
+      if (Db.isRefused(Compiled, ChainEdge))
+        return false;
+    }
+    return true;
+  };
+
+  // Predicts the oracle's target-set intersection for \p Rule's innermost
+  // site when its innermost caller is compiled standalone (compilation
+  // context = just that site). When context-sensitive rules at the site
+  // disagree across context groups, the intersection is empty and a
+  // standalone recompilation could never inline the rule — recommending
+  // it would only waste a compilation the oracle then refuses.
+  auto standaloneIntersectionContains = [&](const InliningRule &Rule) {
+    std::vector<const InliningRule *> Applicable =
+        Rules.applicableRules({Rule.T.innermost()});
+    std::map<std::vector<ContextPair>, std::vector<MethodId>> Groups;
+    for (const InliningRule *R : Applicable)
+      Groups[R->T.Context].push_back(R->T.Callee);
+    bool First = true;
+    std::vector<MethodId> Intersection;
+    for (auto &[Ctx, Targets] : Groups) {
+      (void)Ctx;
+      std::sort(Targets.begin(), Targets.end());
+      Targets.erase(std::unique(Targets.begin(), Targets.end()),
+                    Targets.end());
+      if (First) {
+        Intersection = Targets;
+        First = false;
+        continue;
+      }
+      std::vector<MethodId> Merged;
+      std::set_intersection(Intersection.begin(), Intersection.end(),
+                            Targets.begin(), Targets.end(),
+                            std::back_inserter(Merged));
+      Intersection = std::move(Merged);
+    }
+    return std::find(Intersection.begin(), Intersection.end(),
+                     Rule.T.Callee) != Intersection.end();
+  };
+
+  std::vector<MethodId> ToRecompile;
+  // Each rule is realized at the *innermost* exploitable context position
+  // and no further: once some inner caller's installed code realizes the
+  // chain (or a recompilation of it is scheduled), outer callers gain
+  // nothing from also being recompiled — the dynamic execution reaches
+  // the realized code through them anyway. Positions whose compilation
+  // already refused the edge are skipped outward.
+  auto consider = [&](const InliningRule &Rule) {
+    const size_t PosLimit = DeepChains ? Rule.T.Context.size() : 1;
+    for (size_t Pos = 0; Pos != PosLimit; ++Pos) {
+      const MethodId M = Rule.T.Context[Pos].Caller;
+      if (M >= Hot.size() || !Hot[M])
+        continue;
+      const CodeVariant *V = Code.current(M);
+      // Baseline-only methods are the controller's business, not ours.
+      if (!V || V->Level == OptLevel::Baseline)
+        continue;
+      if (planRealizesRule(V->Plan, Rule, Pos))
+        return; // Already realized where it matters.
+      Trace Edge;
+      Edge.Context.push_back(Rule.T.innermost());
+      Edge.Callee = Rule.T.Callee;
+      if (Db.isRefused(M, Edge))
+        continue; // This position cannot exploit it; look outward.
+      if (Pos == 0 && !standaloneIntersectionContains(Rule))
+        continue; // A standalone recompile would be refused anyway.
+      if (!chainSupported(Rule, Pos, M))
+        continue;
+      // Only rules that became hot after the last compilation count.
+      if (Rule.CreatedAtCycle > V->CompiledAtCycle &&
+          std::find(ToRecompile.begin(), ToRecompile.end(), M) ==
+              ToRecompile.end())
+        ToRecompile.push_back(M);
+      return; // Innermost exploitable position found; stop.
+    }
+  };
+  Rules.forEach(consider);
+  std::sort(ToRecompile.begin(), ToRecompile.end());
+  return ToRecompile;
+}

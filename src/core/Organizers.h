@@ -1,0 +1,120 @@
+//===- core/Organizers.h - AOS organizers -----------------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The organizers of Figure 3 that transform raw listener data into
+/// decisions:
+///
+///  - the *adaptive inlining organizer* derives inlining rules from the
+///    dynamic call graph ("all edges/traces that contribute more than a
+///    threshold percentage of the total weight", Section 4, threshold
+///    1.5%);
+///  - the *imprecision organizer* implements the paper's proposed
+///    adaptive policy: it flags polymorphic sites whose per-context
+///    receiver distributions remain unskewed and asks the trace listener
+///    for more context there;
+///  - the *AI missing-edge organizer* finds hot optimized methods whose
+///    installed code misses a rule that became hot after their last
+///    compilation (and that the compiler has not already refused).
+///
+/// The hot-methods organizer and decay organizer are simple enough to
+/// live in the AdaptiveSystem/Controller directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_CORE_ORGANIZERS_H
+#define AOCI_CORE_ORGANIZERS_H
+
+#include "core/AosDatabase.h"
+#include "policy/ContextPolicy.h"
+#include "profile/DynamicCallGraph.h"
+#include "profile/InlineRules.h"
+#include "vm/CodeManager.h"
+
+#include <vector>
+
+namespace aoci {
+
+/// Rule-extraction parameters.
+struct AiOrganizerConfig {
+  /// A trace becomes a rule when its weight is at least this fraction of
+  /// the total DCG weight — the paper's 1.5% (footnote 4).
+  double HotTraceThreshold = 0.015;
+  /// ... and at least this absolute weight, so a nearly-empty profile
+  /// does not promote noise.
+  double MinRuleWeight = 1.5;
+};
+
+/// The adaptive inlining organizer: derives the rule set from the DCG.
+class AdaptiveInliningOrganizer {
+public:
+  explicit AdaptiveInliningOrganizer(AiOrganizerConfig Config =
+                                         AiOrganizerConfig())
+      : Config(Config) {}
+
+  /// Rebuilds \p Rules from \p Dcg. Traces whose callee can never be
+  /// inlined (large or abstract) are skipped. Returns the number of work
+  /// items scanned (for overhead accounting).
+  size_t rebuildRules(const Program &P, const DynamicCallGraph &Dcg,
+                      uint64_t NowCycle, InlineRuleSet &Rules) const;
+
+  const AiOrganizerConfig &config() const { return Config; }
+
+private:
+  AiOrganizerConfig Config;
+};
+
+/// Imprecision-update parameters (Section 4.3's final policy).
+struct ImprecisionConfig {
+  /// Per-context top-target share at or above which a site counts as
+  /// resolved.
+  double SkewThreshold = 0.80;
+  /// Minimum weight a context group needs before its skew is trusted.
+  double MinGroupWeight = 2.0;
+  /// Raises before the organizer declares a site inherently polymorphic.
+  unsigned GiveUpAfter = 3;
+};
+
+/// Scans the DCG for polymorphic sites with unresolved per-context
+/// distributions and adjusts \p Table. Returns the number of sites
+/// scanned (for overhead accounting).
+size_t updateImprecisionTable(const DynamicCallGraph &Dcg,
+                              ImprecisionTable &Table, unsigned MaxDepth,
+                              const ImprecisionConfig &Config);
+
+/// The AI missing-edge organizer: returns the optimized hot methods that
+/// should be recompiled because a rule that became hot after their last
+/// compilation is not realized by their installed inline plan (and was
+/// not previously refused). A method can exploit a rule when it appears
+/// anywhere in the rule's context: the innermost caller exploits it
+/// directly, and an outer caller exploits it by inlining the whole chain
+/// below it — e.g. the rule  sortX => pass => compare  is realized inside
+/// sortX's code only once pass is inlined there and compare is inlined
+/// inside that copy.
+/// \p HotMethods are the methods the controller currently considers hot.
+/// With \p DeepChains false (the paper-faithful organizer of Section 3.2,
+/// which predates context sensitivity) only the innermost caller of each
+/// rule is considered; deep rules are then exploited opportunistically at
+/// the outer callers' next controller-driven recompilation. With true,
+/// the organizer proactively recompiles the innermost *exploitable*
+/// context position — an extension this repository adds and ablates.
+std::vector<MethodId>
+findMissingEdges(const Program &P, const CodeManager &Code,
+                 const InlineRuleSet &Rules, const AosDatabase &Db,
+                 const std::vector<MethodId> &HotMethods,
+                 bool DeepChains = false);
+
+/// True when \p Plan realizes \p Rule starting from the context position
+/// \p PosOfOwner (the index into Rule.T.Context whose Caller owns the
+/// plan): the chain of inlined bodies along the rule's context exists and
+/// the rule's callee is inlined at the innermost site. Exposed for tests.
+bool planRealizesRule(const InlinePlan &Plan, const InliningRule &Rule,
+                      size_t PosOfOwner);
+
+} // namespace aoci
+
+#endif // AOCI_CORE_ORGANIZERS_H

@@ -1,0 +1,61 @@
+//===- harness/CsvExport.cpp - Machine-readable result export --------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/CsvExport.h"
+
+#include "support/StringUtils.h"
+
+using namespace aoci;
+
+namespace {
+
+void appendRunColumns(std::string &Out, const RunResult &R,
+                      const char *PolicyName) {
+  Out += formatString(
+      "%s,%s,%u,%llu,%llu,%llu,%llu,%u,%llu,%llu,%llu",
+      R.WorkloadName.c_str(), PolicyName, R.MaxDepth,
+      static_cast<unsigned long long>(R.WallCycles),
+      static_cast<unsigned long long>(R.OptBytesResident),
+      static_cast<unsigned long long>(R.OptBytesGenerated),
+      static_cast<unsigned long long>(R.OptCompileCycles),
+      R.OptCompilations,
+      static_cast<unsigned long long>(R.GuardFallbacks),
+      static_cast<unsigned long long>(R.InlinedCalls),
+      static_cast<unsigned long long>(R.SamplesTaken));
+  for (unsigned C = 0; C != NumAosComponents; ++C)
+    Out += formatString(",%.6f",
+                        R.componentFraction(static_cast<AosComponent>(C)));
+}
+
+} // namespace
+
+std::string aoci::exportCsv(const GridResults &Results,
+                            const std::vector<PolicyKind> &Policies,
+                            const std::vector<unsigned> &Depths) {
+  std::string Out =
+      "workload,policy,max_depth,wall_cycles,opt_bytes_resident,"
+      "opt_bytes_generated,opt_compile_cycles,opt_compilations,"
+      "guard_fallbacks,inlined_calls,samples,aos_listeners,"
+      "aos_compilation,aos_decay,aos_ai,aos_method,aos_controller,"
+      "speedup_pct,code_size_pct,compile_time_pct\n";
+
+  for (const std::string &W : Results.workloads()) {
+    appendRunColumns(Out, Results.baseline(W), "cins");
+    Out += ",,,\n";
+    for (PolicyKind Policy : Policies) {
+      for (unsigned D : Depths) {
+        appendRunColumns(Out, Results.cell(W, Policy, D),
+                         policyKindName(Policy));
+        Out += formatString(
+            ",%.4f,%.4f,%.4f\n", Results.speedupPercent(W, Policy, D),
+            Results.codeSizePercent(W, Policy, D),
+            Results.compileTimePercent(W, Policy, D));
+      }
+    }
+  }
+  return Out;
+}

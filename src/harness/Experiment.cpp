@@ -1,0 +1,184 @@
+//===- harness/Experiment.cpp - Experiment runner ---------------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace aoci;
+
+RunResult aoci::runExperiment(const RunConfig &Config) {
+  Workload W = makeWorkload(Config.WorkloadName, Config.Params);
+  VirtualMachine VM(W.Prog, Config.Model);
+  std::unique_ptr<ContextPolicy> Policy =
+      makePolicy(Config.Policy, Config.MaxDepth);
+  AdaptiveSystem Aos(VM, *Policy, Config.Aos);
+  if (Config.CollectTraceStats)
+    Aos.traceListener().enableStatistics();
+  Aos.attach();
+  for (MethodId Entry : W.Entries)
+    VM.addThread(Entry);
+  VM.run();
+
+  RunResult R;
+  R.WorkloadName = W.Name;
+  R.Policy = Config.Policy;
+  R.MaxDepth = Config.MaxDepth;
+  R.WallCycles = VM.cycles();
+  R.OptBytesGenerated = VM.codeManager().optimizedBytesGenerated();
+  R.OptBytesResident = VM.codeManager().optimizedBytesResident();
+  R.OptCompileCycles = VM.codeManager().optCompileCycles();
+  R.BaselineCompileCycles = VM.codeManager().baselineCompileCycles();
+  for (unsigned C = 0; C != NumAosComponents; ++C)
+    R.ComponentCycles[C] =
+        VM.overheadMeter().cycles(static_cast<AosComponent>(C));
+  R.GcCycles = VM.counters().GcCycles;
+  R.OptCompilations = Aos.stats().OptCompilations;
+  R.GuardTests = VM.counters().GuardTestsExecuted;
+  R.GuardFallbacks = VM.counters().GuardFallbacks;
+  R.InlinedCalls = VM.counters().InlinedCallsEntered;
+  R.SamplesTaken = VM.counters().SamplesTaken;
+  R.ProgramResult = VM.threads().front()->Result.asInt();
+
+  R.ClassesLoaded = W.Prog.numClasses();
+  for (MethodId M = 0; M != W.Prog.numMethods(); ++M) {
+    if (!VM.codeManager().current(M))
+      continue;
+    ++R.MethodsCompiled;
+    R.BytecodesCompiled += W.Prog.method(M).bytecodeCount();
+  }
+  if (Config.CollectTraceStats)
+    R.TraceStats = Aos.traceListener().statistics();
+  return R;
+}
+
+RunResult aoci::runBestOf(const RunConfig &Config, unsigned Trials) {
+  assert(Trials >= 1 && "need at least one trial");
+  RunResult Best;
+  for (unsigned T = 0; T != Trials; ++T) {
+    RunConfig Trial = Config;
+    Trial.Model.SampleJitterSeed =
+        Config.Model.SampleJitterSeed + 0x9e3779b9ull * T;
+    RunResult R = runExperiment(Trial);
+    if (T == 0 || R.WallCycles < Best.WallCycles)
+      Best = std::move(R);
+  }
+  return Best;
+}
+
+GridConfig::GridConfig() {
+  Workloads = workloadNames();
+  Policies = {PolicyKind::Fixed,           PolicyKind::Parameterless,
+              PolicyKind::ClassMethods,    PolicyKind::LargeMethods,
+              PolicyKind::HybridParamClass, PolicyKind::HybridParamLarge};
+}
+
+const RunResult &GridResults::baseline(const std::string &Workload) const {
+  auto It = Baselines.find(Workload);
+  assert(It != Baselines.end() && "baseline not run");
+  return It->second;
+}
+
+const RunResult &GridResults::cell(const std::string &Workload,
+                                   PolicyKind Policy,
+                                   unsigned Depth) const {
+  auto It = Cells.find(
+      CellKey{Workload, static_cast<uint8_t>(Policy), Depth});
+  assert(It != Cells.end() && "cell not run");
+  return It->second;
+}
+
+double GridResults::speedupPercent(const std::string &Workload,
+                                   PolicyKind Policy,
+                                   unsigned Depth) const {
+  return aoci::speedupPercent(
+      static_cast<double>(baseline(Workload).WallCycles),
+      static_cast<double>(cell(Workload, Policy, Depth).WallCycles));
+}
+
+double GridResults::codeSizePercent(const std::string &Workload,
+                                    PolicyKind Policy,
+                                    unsigned Depth) const {
+  // "Compiled code space" is the resident optimized code: the bytes of
+  // optimized machine code installed once the system converges. The
+  // cumulative-generated figure (which also counts code obsoleted by
+  // recompilation) tracks compile *time* and is reported separately.
+  return percentChange(
+      static_cast<double>(baseline(Workload).OptBytesResident),
+      static_cast<double>(cell(Workload, Policy, Depth).OptBytesResident));
+}
+
+double GridResults::compileTimePercent(const std::string &Workload,
+                                       PolicyKind Policy,
+                                       unsigned Depth) const {
+  return percentChange(
+      static_cast<double>(baseline(Workload).OptCompileCycles),
+      static_cast<double>(cell(Workload, Policy, Depth).OptCompileCycles));
+}
+
+void GridResults::addBaseline(RunResult R) {
+  Workloads.push_back(R.WorkloadName);
+  Baselines.emplace(R.WorkloadName, std::move(R));
+}
+
+void GridResults::addCell(RunResult R) {
+  CellKey Key{R.WorkloadName, static_cast<uint8_t>(R.Policy), R.MaxDepth};
+  Cells.emplace(std::move(Key), std::move(R));
+}
+
+GridResults
+aoci::runGrid(const GridConfig &Config,
+              const std::function<void(const std::string &)> &Progress) {
+  GridResults Results;
+  for (const std::string &Name : Config.Workloads) {
+    RunConfig Base;
+    Base.WorkloadName = Name;
+    Base.Params = Config.Params;
+    Base.Policy = PolicyKind::ContextInsensitive;
+    Base.MaxDepth = 1;
+    Base.Aos = Config.Aos;
+    RunResult BaseResult = runBestOf(Base, Config.Trials);
+    if (Progress)
+      Progress(formatString("%-12s cins: %llu cycles, %llu opt bytes",
+                            Name.c_str(),
+                            static_cast<unsigned long long>(
+                                BaseResult.WallCycles),
+                            static_cast<unsigned long long>(
+                                BaseResult.OptBytesGenerated)));
+    Results.addBaseline(std::move(BaseResult));
+
+    for (PolicyKind Policy : Config.Policies) {
+      for (unsigned Depth : Config.Depths) {
+        RunConfig Cell = Base;
+        Cell.Policy = Policy;
+        Cell.MaxDepth = Depth;
+        RunResult CellResult = runBestOf(Cell, Config.Trials);
+        if (Progress)
+          Progress(formatString(
+              "%-12s %-10s max=%u: speedup %s, code %s", Name.c_str(),
+              policyKindName(Policy), Depth,
+              formatPercent(aoci::speedupPercent(
+                                static_cast<double>(
+                                    Results.baseline(Name).WallCycles),
+                                static_cast<double>(CellResult.WallCycles)))
+                  .c_str(),
+              formatPercent(
+                  percentChange(static_cast<double>(
+                                    Results.baseline(Name)
+                                        .OptBytesGenerated),
+                                static_cast<double>(
+                                    CellResult.OptBytesGenerated)))
+                  .c_str()));
+        Results.addCell(std::move(CellResult));
+      }
+    }
+  }
+  return Results;
+}

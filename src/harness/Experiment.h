@@ -1,0 +1,157 @@
+//===- harness/Experiment.h - Experiment runner ------------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement harness behind every table and figure: one "run" is a
+/// workload executed to completion inside a fresh VM with a fresh
+/// adaptive system under one context-sensitivity policy; a "grid" is the
+/// benchmark x policy x depth sweep the paper's Figures 4-6 plot, with
+/// the context-insensitive run of each workload as the baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_HARNESS_EXPERIMENT_H
+#define AOCI_HARNESS_EXPERIMENT_H
+
+#include "core/AdaptiveSystem.h"
+#include "profile/TraceStatistics.h"
+#include "workload/Workload.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aoci {
+
+/// One experiment's configuration.
+struct RunConfig {
+  std::string WorkloadName = "compress";
+  WorkloadParams Params;
+  PolicyKind Policy = PolicyKind::ContextInsensitive;
+  unsigned MaxDepth = 1;
+  AosSystemConfig Aos;
+  /// The VM cost model (tests and ablations override constants here;
+  /// runBestOf varies its SampleJitterSeed per trial).
+  CostModel Model;
+  /// Enables the Section 4 chain instrumentation (uncharged tooling).
+  bool CollectTraceStats = false;
+};
+
+/// Everything measured in one run.
+struct RunResult {
+  std::string WorkloadName;
+  PolicyKind Policy = PolicyKind::ContextInsensitive;
+  unsigned MaxDepth = 1;
+
+  /// Wall-clock: the VM's cycle counter at completion (Figure 4's basis).
+  uint64_t WallCycles = 0;
+  /// Cumulative optimized-code bytes generated (Figure 5's basis).
+  uint64_t OptBytesGenerated = 0;
+  /// Bytes of optimized code still installed at completion.
+  uint64_t OptBytesResident = 0;
+  /// Optimizing-compiler cycles (the compile-time claim's basis).
+  uint64_t OptCompileCycles = 0;
+  uint64_t BaselineCompileCycles = 0;
+  /// Per-AOS-component cycles (Figure 6's basis).
+  uint64_t ComponentCycles[NumAosComponents] = {0, 0, 0, 0, 0, 0};
+  uint64_t GcCycles = 0;
+
+  unsigned OptCompilations = 0;
+  uint64_t GuardTests = 0;
+  uint64_t GuardFallbacks = 0;
+  uint64_t InlinedCalls = 0;
+  uint64_t SamplesTaken = 0;
+  int64_t ProgramResult = 0;
+
+  /// Table 1 characteristics: classes in the program, methods and
+  /// bytecodes dynamically compiled (i.e. actually executed at least
+  /// once and hence baseline-compiled).
+  unsigned ClassesLoaded = 0;
+  unsigned MethodsCompiled = 0;
+  uint64_t BytecodesCompiled = 0;
+
+  /// Section 4 statistics (populated when requested).
+  TraceStatistics TraceStats;
+
+  /// Fraction of wall cycles spent in AOS component \p C.
+  double componentFraction(AosComponent C) const {
+    if (WallCycles == 0)
+      return 0;
+    return static_cast<double>(
+               ComponentCycles[static_cast<unsigned>(C)]) /
+           static_cast<double>(WallCycles);
+  }
+};
+
+/// Runs one experiment to completion.
+RunResult runExperiment(const RunConfig &Config);
+
+/// Runs \p Trials experiments differing only in the sampling timer's
+/// jitter seed and returns the fastest (smallest WallCycles) — the
+/// paper's "best run of 20" methodology, scaled down. Trials must be
+/// at least 1.
+RunResult runBestOf(const RunConfig &Config, unsigned Trials);
+
+/// The benchmark x policy x depth sweep.
+struct GridConfig {
+  std::vector<std::string> Workloads;       ///< Default: all of Table 1.
+  std::vector<PolicyKind> Policies;         ///< Default: the Figure 4 six.
+  std::vector<unsigned> Depths = {2, 3, 4, 5}; ///< The paper's 2..5.
+  WorkloadParams Params;
+  AosSystemConfig Aos;
+  /// Trials per cell, taking the fastest (the paper used 20).
+  unsigned Trials = 1;
+
+  GridConfig();
+};
+
+/// Results of a sweep: the per-workload cins baseline plus every cell.
+class GridResults {
+public:
+  /// Baseline (context-insensitive) run for \p Workload.
+  const RunResult &baseline(const std::string &Workload) const;
+
+  /// Cell run; asserts it exists.
+  const RunResult &cell(const std::string &Workload, PolicyKind Policy,
+                        unsigned Depth) const;
+
+  /// Wall-clock speedup % of a cell over its baseline (positive = faster),
+  /// the Figure 4 quantity.
+  double speedupPercent(const std::string &Workload, PolicyKind Policy,
+                        unsigned Depth) const;
+
+  /// Optimized code size change % over baseline (negative = smaller),
+  /// the Figure 5 quantity.
+  double codeSizePercent(const std::string &Workload, PolicyKind Policy,
+                         unsigned Depth) const;
+
+  /// Optimizing-compile-time change % over baseline.
+  double compileTimePercent(const std::string &Workload, PolicyKind Policy,
+                            unsigned Depth) const;
+
+  const std::vector<std::string> &workloads() const { return Workloads; }
+
+  void addBaseline(RunResult R);
+  void addCell(RunResult R);
+
+private:
+  using CellKey = std::tuple<std::string, uint8_t, unsigned>;
+  std::vector<std::string> Workloads;
+  std::map<std::string, RunResult> Baselines;
+  std::map<CellKey, RunResult> Cells;
+};
+
+/// Runs the whole sweep; \p Progress (if provided) is invoked with a
+/// human-readable line after each completed run.
+GridResults
+runGrid(const GridConfig &Config,
+        const std::function<void(const std::string &)> &Progress = nullptr);
+
+} // namespace aoci
+
+#endif // AOCI_HARNESS_EXPERIMENT_H

@@ -1,0 +1,173 @@
+//===- opt/Compiler.cpp - The optimizing compiler --------------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Compiler.h"
+
+#include "opt/SizeEstimator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace aoci;
+
+InlineRefusalSink::~InlineRefusalSink() = default;
+
+bool OptimizingCompiler::withinBudget(const InlineTargetDecision &D,
+                                      uint32_t ConstArgMask, unsigned Depth,
+                                      uint64_t ExtraUnits,
+                                      const BuildState &State) const {
+  const InlinerConfig &Config = State.Oracle->config();
+  // Classify with the site's constant-argument mask so a method that is
+  // tiny *at this site* (footnote 1) gets the unconditional-tiny rule.
+  const SizeClass Class = siteSizeClass(P, D.Callee, ConstArgMask);
+
+  // Unconditional tiny inlining: exempt from the expansion budget but
+  // still bounded by the hard depth cap and the absolute unit cap.
+  if (Class == SizeClass::Tiny && !D.NeedsGuard)
+    return Depth < Config.HardMaxDepth &&
+           State.Units + ExtraUnits <= Config.AbsoluteUnitCap;
+
+  // Profile-directed decisions may exceed the normal limits (Section
+  // 3.1's third bullet) but not the hard caps.
+  if (D.ProfileDirected)
+    return Depth < Config.HardMaxDepth &&
+           State.Units + ExtraUnits <= Config.AbsoluteUnitCap;
+
+  const uint64_t ExpansionCap = std::min(
+      static_cast<uint64_t>(static_cast<double>(State.RootUnits) *
+                            Config.MaxExpansionFactor) +
+          Config.ExpansionSlackUnits,
+      Config.AbsoluteUnitCap);
+  return Depth < Config.MaxInlineDepth &&
+         State.Units + ExtraUnits <= ExpansionCap;
+}
+
+void OptimizingCompiler::buildNode(
+    MethodId Enclosing, const std::vector<ContextPair> &SuffixContext,
+    unsigned Depth, BuildState &State, InlineNode &Node) const {
+  const Method &Body = P.method(Enclosing);
+
+  for (BytecodeIndex Site : Body.callSites()) {
+    const Instruction &Call = Body.Body[Site];
+    if (State.Stats)
+      ++State.Stats->SitesConsidered;
+
+    OracleQuery Query;
+    Query.Enclosing = Enclosing;
+    Query.Site = Site;
+    Query.Call = Call;
+    Query.Depth = Depth;
+    Query.CompilationContext.reserve(SuffixContext.size() + 1);
+    Query.CompilationContext.push_back(ContextPair{Enclosing, Site});
+    Query.CompilationContext.insert(Query.CompilationContext.end(),
+                                    SuffixContext.begin(),
+                                    SuffixContext.end());
+
+    std::vector<MethodId> Rejected;
+    std::vector<InlineTargetDecision> Decisions =
+        State.Oracle->decide(Query, State.Refusals ? &Rejected : nullptr);
+
+    // Record oracle rejections of rule-recommended targets so the
+    // missing-edge organizer stops nagging (Section 3.2's refusal use of
+    // the AOS database).
+    for (MethodId Target : Rejected) {
+      Trace Edge;
+      Edge.Context.push_back(ContextPair{Enclosing, Site});
+      Edge.Callee = Target;
+      State.Refusals->recordRefusal(State.Root, Edge);
+      if (State.Stats)
+        ++State.Stats->DecisionsRefused;
+    }
+
+    if (Decisions.empty())
+      continue;
+
+    std::vector<InlineCase> Accepted;
+    for (const InlineTargetDecision &D : Decisions) {
+      // Never inline a method already on the current inline chain: the
+      // plan would be infinitely recursive.
+      if (std::find(State.Path.begin(), State.Path.end(), D.Callee) !=
+          State.Path.end())
+        continue;
+
+      const uint32_t BodyUnits =
+          inlinedSizeEstimate(P, D.Callee, Call.ConstArgMask);
+      const uint64_t ExtraUnits =
+          BodyUnits + (D.NeedsGuard ? Model.GuardSizeUnits : 0);
+
+      if (!withinBudget(D, Call.ConstArgMask, Depth, ExtraUnits, State)) {
+        if (State.Stats)
+          ++State.Stats->DecisionsRefused;
+        if (D.ProfileDirected && State.Refusals) {
+          Trace Edge;
+          Edge.Context.push_back(ContextPair{Enclosing, Site});
+          Edge.Callee = D.Callee;
+          State.Refusals->recordRefusal(State.Root, Edge);
+        }
+        continue;
+      }
+
+      if (State.Stats)
+        ++State.Stats->DecisionsAccepted;
+      State.Units += ExtraUnits;
+
+      InlineCase Case;
+      Case.Callee = D.Callee;
+      Case.Guarded = D.NeedsGuard;
+      Case.BodyUnits = BodyUnits;
+      Case.Body = std::make_unique<InlineNode>();
+
+      // Recurse into the inlined body: its call sites see the extended
+      // compilation context.
+      State.Path.push_back(D.Callee);
+      buildNode(D.Callee, Query.CompilationContext, Depth + 1, State,
+                *Case.Body);
+      State.Path.pop_back();
+      if (Case.Body->empty())
+        Case.Body.reset();
+
+      Accepted.push_back(std::move(Case));
+    }
+
+    if (Accepted.empty())
+      continue;
+    InlineNode::SiteDecision &Decision = Node.getOrCreate(Site);
+    assert(Decision.Cases.empty() && "site decided twice");
+    Decision.Cases = std::move(Accepted);
+  }
+}
+
+std::unique_ptr<CodeVariant>
+OptimizingCompiler::compile(MethodId Root, OptLevel Level,
+                            const InliningOracle &Oracle,
+                            InlineRefusalSink *Refusals,
+                            CompileStats *Stats) const {
+  assert(Level != OptLevel::Baseline &&
+         "baseline compilation is the VM's job");
+  const Method &RootMethod = P.method(Root);
+  assert(!RootMethod.IsAbstract && "cannot compile an abstract method");
+
+  BuildState State;
+  State.Oracle = &Oracle;
+  State.Refusals = Refusals;
+  State.Stats = Stats;
+  State.Root = Root;
+  State.RootUnits = RootMethod.machineSize();
+  State.Units = State.RootUnits;
+  State.Path.push_back(Root);
+
+  auto Variant = std::make_unique<CodeVariant>();
+  Variant->M = Root;
+  Variant->Level = Level;
+  buildNode(Root, {}, 0, State, Variant->Plan.Root);
+  Variant->Plan.TotalUnits = State.Units;
+  Variant->Plan.recountStatistics();
+  Variant->MachineUnits = State.Units;
+  Variant->CodeBytes = Model.codeBytes(Level, State.Units);
+  Variant->CompileCycles = Model.compileCycles(Level, State.Units);
+  return Variant;
+}

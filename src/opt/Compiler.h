@@ -1,0 +1,88 @@
+//===- opt/Compiler.h - The optimizing compiler ------------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizing "compiler": consults the inlining oracle at every call
+/// site (recursively, inside inlined bodies), enforces the code-expansion
+/// and depth budgets, records refusals for the AOS database, and emits a
+/// CodeVariant whose inline plan, size, and compile-cost ledger entries
+/// the VM then executes and accounts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_OPT_COMPILER_H
+#define AOCI_OPT_COMPILER_H
+
+#include "opt/InliningOracle.h"
+#include "vm/CodeVariant.h"
+#include "vm/CostModel.h"
+
+#include <memory>
+
+namespace aoci {
+
+/// Receiver of "compiler refused to inline this edge" events. The AOS
+/// database implements this; the AI missing-edge organizer then avoids
+/// re-recommending recompilations for refused edges (Section 3.2).
+class InlineRefusalSink {
+public:
+  virtual ~InlineRefusalSink();
+  /// \p Compiled is the method being (re)compiled; \p Edge is the
+  /// refused depth-1 call edge.
+  virtual void recordRefusal(MethodId Compiled, const Trace &Edge) = 0;
+};
+
+/// Statistics of one compilation, for tests and diagnostics.
+struct CompileStats {
+  unsigned SitesConsidered = 0;
+  unsigned DecisionsAccepted = 0;
+  unsigned DecisionsRefused = 0;
+};
+
+/// The optimizing compiler.
+class OptimizingCompiler {
+public:
+  OptimizingCompiler(const Program &P, const ClassHierarchy &CH,
+                     const CostModel &Model)
+      : P(P), CH(CH), Model(Model) {}
+
+  /// Compiles \p Root at \p Level, consulting \p Oracle per call site.
+  /// Refusals of profile-directed decisions are reported to \p Refusals
+  /// when non-null. The caller is responsible for charging the variant's
+  /// CompileCycles to the clock and installing it.
+  std::unique_ptr<CodeVariant> compile(MethodId Root, OptLevel Level,
+                                       const InliningOracle &Oracle,
+                                       InlineRefusalSink *Refusals = nullptr,
+                                       CompileStats *Stats = nullptr) const;
+
+private:
+  struct BuildState {
+    const InliningOracle *Oracle = nullptr;
+    InlineRefusalSink *Refusals = nullptr;
+    CompileStats *Stats = nullptr;
+    MethodId Root = InvalidMethodId;
+    uint64_t RootUnits = 0;
+    uint64_t Units = 0;
+    std::vector<MethodId> Path; ///< Inline chain, root first.
+  };
+
+  void buildNode(MethodId Enclosing,
+                 const std::vector<ContextPair> &SuffixContext,
+                 unsigned Depth, BuildState &State, InlineNode &Node) const;
+
+  bool withinBudget(const InlineTargetDecision &D, uint32_t ConstArgMask,
+                    unsigned Depth, uint64_t ExtraUnits,
+                    const BuildState &State) const;
+
+  const Program &P;
+  const ClassHierarchy &CH;
+  const CostModel &Model;
+};
+
+} // namespace aoci
+
+#endif // AOCI_OPT_COMPILER_H

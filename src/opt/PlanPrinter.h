@@ -1,0 +1,35 @@
+//===- opt/PlanPrinter.h - Inline plan pretty-printer -----------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a compiled method's inline plan as an indented tree, e.g.
+///
+///   HashMapTest.runTest [opt2, 1930 bytes, 7 inlines, 5 guards]
+///     @2 -> HashMap.get
+///       @4 -> guard MyKey.hashCode
+///   ...
+///
+/// Used by the examples and when debugging policy behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_OPT_PLANPRINTER_H
+#define AOCI_OPT_PLANPRINTER_H
+
+#include "bytecode/Program.h"
+#include "vm/CodeVariant.h"
+
+#include <string>
+
+namespace aoci {
+
+/// Renders \p Variant's header line and inline-plan tree.
+std::string describeVariant(const Program &P, const CodeVariant &Variant);
+
+} // namespace aoci
+
+#endif // AOCI_OPT_PLANPRINTER_H

@@ -1,0 +1,42 @@
+//===- opt/SizeEstimator.cpp - Inlined-size estimation --------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/SizeEstimator.h"
+
+#include <cmath>
+
+using namespace aoci;
+
+namespace {
+
+unsigned popcount32(uint32_t X) {
+  unsigned N = 0;
+  while (X) {
+    X &= X - 1;
+    ++N;
+  }
+  return N;
+}
+
+} // namespace
+
+unsigned aoci::inlinedSizeEstimate(const Program &P, MethodId Callee,
+                                   uint32_t ConstArgMask) {
+  const Method &M = P.method(Callee);
+  const unsigned Raw = M.machineSize();
+  double Fraction = 1.0 - ConstArgReduction * popcount32(ConstArgMask);
+  if (Fraction < MinSizeFraction)
+    Fraction = MinSizeFraction;
+  unsigned Estimate =
+      static_cast<unsigned>(std::ceil(static_cast<double>(Raw) * Fraction));
+  return Estimate == 0 ? 1 : Estimate;
+}
+
+SizeClass aoci::siteSizeClass(const Program &P, MethodId Callee,
+                              uint32_t ConstArgMask) {
+  return classifySize(inlinedSizeEstimate(P, Callee, ConstArgMask));
+}

@@ -1,0 +1,42 @@
+//===- opt/SizeEstimator.h - Inlined-size estimation ------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Estimates the machine-code size a callee would contribute when inlined
+/// at a particular call site, including the paper's footnote-1 adjustment:
+/// "if one of the parameters is a constant then the inlined size estimate
+/// is reduced to model the likely effects of constant folding."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_OPT_SIZEESTIMATOR_H
+#define AOCI_OPT_SIZEESTIMATOR_H
+
+#include "bytecode/Program.h"
+#include "bytecode/SizeClass.h"
+
+namespace aoci {
+
+/// Fractional size reduction per constant argument (footnote 1), with a
+/// floor so highly-constant calls still cost something.
+constexpr double ConstArgReduction = 0.10;
+constexpr double MinSizeFraction = 0.40;
+
+/// Estimated machine units the body of \p Callee contributes when inlined
+/// at a call site whose constant-argument mask is \p ConstArgMask.
+unsigned inlinedSizeEstimate(const Program &P, MethodId Callee,
+                             uint32_t ConstArgMask);
+
+/// Size class of \p Callee *as an inlining candidate at this site*: the
+/// constant-argument adjustment can demote a method one class (e.g. a
+/// small method called with constants may classify as tiny).
+SizeClass siteSizeClass(const Program &P, MethodId Callee,
+                        uint32_t ConstArgMask);
+
+} // namespace aoci
+
+#endif // AOCI_OPT_SIZEESTIMATOR_H

@@ -1,0 +1,198 @@
+//===- policy/ContextPolicy.cpp - Context-sensitivity policies ------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "policy/ContextPolicy.h"
+
+#include "bytecode/SizeClass.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace aoci;
+
+ContextPolicy::~ContextPolicy() = default;
+
+unsigned ContextPolicy::traceDepth(const Program &P,
+                                   const std::vector<MethodId> &Chain,
+                                   BytecodeIndex InnermostSite) const {
+  assert(Chain.size() >= 2 && "a sample needs a callee and one caller");
+  const unsigned Available = static_cast<unsigned>(Chain.size()) - 1;
+  unsigned Cap = std::min(maxDepth(), Available);
+
+  // Per-site depth limit (adaptive imprecision) applies on top of the cap.
+  Cap = std::min(
+      Cap, std::max(1u, depthLimit(P, Chain[1], InnermostSite, Chain[0])));
+
+  // Early-termination walk: first chain method the predicate stops at.
+  for (unsigned I = 0; I <= Cap && I < Chain.size(); ++I)
+    if (stopAt(P, Chain[I]))
+      return std::max(1u, std::min(I, Cap));
+  return Cap;
+}
+
+const std::vector<PolicyKind> &aoci::allPolicyKinds() {
+  static const std::vector<PolicyKind> Kinds = {
+      PolicyKind::ContextInsensitive, PolicyKind::Fixed,
+      PolicyKind::Parameterless,      PolicyKind::ClassMethods,
+      PolicyKind::LargeMethods,       PolicyKind::HybridParamClass,
+      PolicyKind::HybridParamLarge,   PolicyKind::AdaptiveImprecision};
+  return Kinds;
+}
+
+const char *aoci::policyKindName(PolicyKind K) {
+  switch (K) {
+  case PolicyKind::ContextInsensitive:
+    return "cins";
+  case PolicyKind::Fixed:
+    return "fixed";
+  case PolicyKind::Parameterless:
+    return "paramLess";
+  case PolicyKind::ClassMethods:
+    return "class";
+  case PolicyKind::LargeMethods:
+    return "large";
+  case PolicyKind::HybridParamClass:
+    return "hybrid1";
+  case PolicyKind::HybridParamLarge:
+    return "hybrid2";
+  case PolicyKind::AdaptiveImprecision:
+    return "imprecision";
+  }
+  return "<invalid>";
+}
+
+std::string FixedPolicy::name() const {
+  return formatString("fixed(max=%u)", maxDepth());
+}
+
+std::string ParameterlessPolicy::name() const {
+  return formatString("paramLess(max=%u)", maxDepth());
+}
+
+bool ParameterlessPolicy::stopAt(const Program &P,
+                                 MethodId ChainMethod) const {
+  return P.method(ChainMethod).isParameterless();
+}
+
+std::string ClassMethodsPolicy::name() const {
+  return formatString("class(max=%u)", maxDepth());
+}
+
+bool ClassMethodsPolicy::stopAt(const Program &P, MethodId ChainMethod) const {
+  return P.method(ChainMethod).Kind == MethodKind::Static;
+}
+
+std::string LargeMethodsPolicy::name() const {
+  return formatString("large(max=%u)", maxDepth());
+}
+
+bool LargeMethodsPolicy::stopAt(const Program &P, MethodId ChainMethod) const {
+  return classifyMethod(P.method(ChainMethod)) == SizeClass::Large;
+}
+
+std::string HybridParamClassPolicy::name() const {
+  return formatString("hybrid1(max=%u)", maxDepth());
+}
+
+bool HybridParamClassPolicy::stopAt(const Program &P,
+                                    MethodId ChainMethod) const {
+  const Method &M = P.method(ChainMethod);
+  return M.isParameterless() || M.Kind == MethodKind::Static;
+}
+
+std::string HybridParamLargePolicy::name() const {
+  return formatString("hybrid2(max=%u)", maxDepth());
+}
+
+bool HybridParamLargePolicy::stopAt(const Program &P,
+                                    MethodId ChainMethod) const {
+  const Method &M = P.method(ChainMethod);
+  return M.isParameterless() || classifyMethod(M) == SizeClass::Large;
+}
+
+//===----------------------------------------------------------------------===//
+// ImprecisionTable / AdaptiveImprecisionPolicy
+//===----------------------------------------------------------------------===//
+
+unsigned ImprecisionTable::depthFor(MethodId Caller,
+                                    BytecodeIndex Site) const {
+  auto It = Entries.find(key(Caller, Site));
+  if (It == Entries.end())
+    return 1;
+  const Entry &E = It->second;
+  return E.GaveUp ? 1 : E.Depth;
+}
+
+unsigned ImprecisionTable::raise(MethodId Caller, BytecodeIndex Site,
+                                 unsigned MaxDepth, unsigned GiveUpAfter) {
+  Entry &E = Entries[key(Caller, Site)];
+  if (E.GaveUp || E.Resolved)
+    return E.GaveUp ? 1 : E.Depth;
+  if (E.Raises >= GiveUpAfter || E.Depth >= MaxDepth) {
+    // Still unresolved at the deepest context we are willing to pay for:
+    // the site is inherently too polymorphic.
+    E.GaveUp = true;
+    return 1;
+  }
+  ++E.Raises;
+  ++E.Depth;
+  return E.Depth;
+}
+
+void ImprecisionTable::markResolved(MethodId Caller, BytecodeIndex Site) {
+  Entry &E = Entries[key(Caller, Site)];
+  if (!E.GaveUp)
+    E.Resolved = true;
+}
+
+bool ImprecisionTable::gaveUp(MethodId Caller, BytecodeIndex Site) const {
+  auto It = Entries.find(key(Caller, Site));
+  return It != Entries.end() && It->second.GaveUp;
+}
+
+bool ImprecisionTable::isResolved(MethodId Caller, BytecodeIndex Site) const {
+  auto It = Entries.find(key(Caller, Site));
+  return It != Entries.end() && It->second.Resolved;
+}
+
+std::string AdaptiveImprecisionPolicy::name() const {
+  return formatString("imprecision(max=%u)", maxDepth());
+}
+
+unsigned AdaptiveImprecisionPolicy::depthLimit(const Program &P,
+                                               MethodId Caller,
+                                               BytecodeIndex Site,
+                                               MethodId Callee) const {
+  (void)P;
+  (void)Callee;
+  return Table->depthFor(Caller, Site);
+}
+
+std::unique_ptr<ContextPolicy> aoci::makePolicy(PolicyKind K,
+                                                unsigned MaxDepth) {
+  switch (K) {
+  case PolicyKind::ContextInsensitive:
+    return std::make_unique<ContextInsensitivePolicy>();
+  case PolicyKind::Fixed:
+    return std::make_unique<FixedPolicy>(MaxDepth);
+  case PolicyKind::Parameterless:
+    return std::make_unique<ParameterlessPolicy>(MaxDepth);
+  case PolicyKind::ClassMethods:
+    return std::make_unique<ClassMethodsPolicy>(MaxDepth);
+  case PolicyKind::LargeMethods:
+    return std::make_unique<LargeMethodsPolicy>(MaxDepth);
+  case PolicyKind::HybridParamClass:
+    return std::make_unique<HybridParamClassPolicy>(MaxDepth);
+  case PolicyKind::HybridParamLarge:
+    return std::make_unique<HybridParamLargePolicy>(MaxDepth);
+  case PolicyKind::AdaptiveImprecision:
+    return std::make_unique<AdaptiveImprecisionPolicy>(
+        MaxDepth, std::make_shared<ImprecisionTable>());
+  }
+  return nullptr;
+}

@@ -1,0 +1,74 @@
+//===- profile/CallingContextTree.cpp - CCT profile storage ---------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/CallingContextTree.h"
+
+#include <cassert>
+
+using namespace aoci;
+
+CallingContextTree::CallingContextTree() : Root(std::make_unique<Node>()) {}
+
+CallingContextTree::Node *
+CallingContextTree::Node::findOrCreateChild(const ContextPair &S,
+                                            size_t &NumNodes) {
+  for (auto &Child : Children)
+    if (Child->Step == S)
+      return Child.get();
+  auto NewChild = std::make_unique<Node>();
+  NewChild->Step = S;
+  Children.push_back(std::move(NewChild));
+  ++NumNodes;
+  return Children.back().get();
+}
+
+const CallingContextTree::Node *
+CallingContextTree::Node::findChild(const ContextPair &S) const {
+  for (const auto &Child : Children)
+    if (Child->Step == S)
+      return Child.get();
+  return nullptr;
+}
+
+void CallingContextTree::addSample(const Trace &T, double Weight) {
+  assert(!T.Context.empty() && "trace needs at least one context pair");
+  Node *N = Root->findOrCreateChild(
+      ContextPair{T.Callee, /*Site unused at depth 0*/ 0}, NumNodes);
+  N->InclusiveWeight += Weight;
+  unsigned Depth = 1;
+  for (const ContextPair &Step : T.Context) {
+    N = N->findOrCreateChild(Step, NumNodes);
+    N->InclusiveWeight += Weight;
+    ++Depth;
+  }
+  N->ExclusiveWeight += Weight;
+  if (Depth > MaxDepth)
+    MaxDepth = Depth;
+}
+
+const CallingContextTree::Node *
+CallingContextTree::walk(const Trace &T) const {
+  const Node *N = Root->findChild(ContextPair{T.Callee, 0});
+  if (!N)
+    return nullptr;
+  for (const ContextPair &Step : T.Context) {
+    N = N->findChild(Step);
+    if (!N)
+      return nullptr;
+  }
+  return N;
+}
+
+double CallingContextTree::exactWeight(const Trace &T) const {
+  const Node *N = walk(T);
+  return N ? N->ExclusiveWeight : 0;
+}
+
+double CallingContextTree::prefixWeight(const Trace &T) const {
+  const Node *N = walk(T);
+  return N ? N->InclusiveWeight : 0;
+}

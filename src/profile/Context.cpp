@@ -1,0 +1,21 @@
+//===- profile/Context.cpp - Call-chain context types ----------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Context.h"
+
+#include "support/StringUtils.h"
+
+using namespace aoci;
+
+std::string Trace::toString(const Program &P) const {
+  std::string Out;
+  for (auto It = Context.rbegin(), E = Context.rend(); It != E; ++It)
+    Out += formatString("%s@%u => ", P.qualifiedName(It->Caller).c_str(),
+                        It->Site);
+  Out += P.qualifiedName(Callee);
+  return Out;
+}

@@ -1,0 +1,102 @@
+//===- profile/Context.h - Call-chain context types -------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The context-sensitive profile sample representation of Section 3.3:
+/// a Trace is the variable-length structure
+///
+///   caller_1, callsite_1, ..., caller_n, callsite_n  =>  callee
+///
+/// stored innermost-first (element 0 is the direct caller of the callee),
+/// plus the partial-context matching relation of Equation 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_PROFILE_CONTEXT_H
+#define AOCI_PROFILE_CONTEXT_H
+
+#include "bytecode/Program.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aoci {
+
+/// One (caller, callsite) pair of a context chain.
+struct ContextPair {
+  MethodId Caller = InvalidMethodId;
+  BytecodeIndex Site = 0;
+
+  bool operator==(const ContextPair &O) const {
+    return Caller == O.Caller && Site == O.Site;
+  }
+  bool operator!=(const ContextPair &O) const { return !(*this == O); }
+  bool operator<(const ContextPair &O) const {
+    return Caller != O.Caller ? Caller < O.Caller : Site < O.Site;
+  }
+};
+
+/// A variable-depth call trace: context pairs innermost-first, then the
+/// callee (Equation 2 of the paper).
+struct Trace {
+  std::vector<ContextPair> Context;
+  MethodId Callee = InvalidMethodId;
+
+  /// Depth = number of (caller, callsite) pairs; 1 is a plain call edge.
+  unsigned depth() const { return static_cast<unsigned>(Context.size()); }
+
+  /// The innermost pair — the direct caller and call site. Valid only for
+  /// non-empty contexts.
+  const ContextPair &innermost() const { return Context.front(); }
+
+  bool operator==(const Trace &O) const {
+    return Callee == O.Callee && Context == O.Context;
+  }
+  bool operator!=(const Trace &O) const { return !(*this == O); }
+
+  /// Renders the trace as "A@3 => B@7 => C" (outermost first, like the
+  /// paper's arrow notation), for diagnostics.
+  std::string toString(const Program &P) const;
+};
+
+/// Hash functors for use in unordered containers.
+struct ContextPairHash {
+  size_t operator()(const ContextPair &P) const {
+    uint64_t K = (static_cast<uint64_t>(P.Caller) << 32) | P.Site;
+    // Mix (splitmix64 finalizer).
+    K = (K ^ (K >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    K = (K ^ (K >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(K ^ (K >> 31));
+  }
+};
+
+struct TraceHash {
+  size_t operator()(const Trace &T) const {
+    size_t H = 0x9e3779b97f4a7c15ULL ^ T.Callee;
+    ContextPairHash PairHash;
+    for (const ContextPair &P : T.Context)
+      H = H * 0x100000001b3ULL ^ PairHash(P);
+    return H;
+  }
+};
+
+/// Equation 3: a rule context applies to a compilation context when the
+/// two agree on their first min(k, j) innermost pairs. Both chains are
+/// innermost-first.
+inline bool partialContextMatch(const std::vector<ContextPair> &CompCtx,
+                                const std::vector<ContextPair> &RuleCtx) {
+  const size_t N = std::min(CompCtx.size(), RuleCtx.size());
+  for (size_t I = 0; I != N; ++I)
+    if (CompCtx[I] != RuleCtx[I])
+      return false;
+  return true;
+}
+
+} // namespace aoci
+
+#endif // AOCI_PROFILE_CONTEXT_H

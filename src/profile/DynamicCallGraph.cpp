@@ -1,0 +1,133 @@
+//===- profile/DynamicCallGraph.cpp - Trace-weighted call graph -----------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/DynamicCallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace aoci;
+
+void DynamicCallGraph::addSample(const Trace &T, double Weight) {
+  assert(!T.Context.empty() && "trace needs at least one context pair");
+  assert(Weight > 0 && "sample weight must be positive");
+  Weights[T] += Weight;
+  Total += Weight;
+}
+
+double DynamicCallGraph::weight(const Trace &T) const {
+  auto It = Weights.find(T);
+  return It == Weights.end() ? 0 : It->second;
+}
+
+void DynamicCallGraph::decay(double Factor, double DropBelow) {
+  assert(Factor > 0 && Factor <= 1 && "decay factor out of range");
+  Total = 0;
+  for (auto It = Weights.begin(); It != Weights.end();) {
+    It->second *= Factor;
+    if (It->second < DropBelow) {
+      It = Weights.erase(It);
+      continue;
+    }
+    Total += It->second;
+    ++It;
+  }
+}
+
+void DynamicCallGraph::forEach(
+    const std::function<void(const Trace &, double)> &Fn) const {
+  for (const auto &[T, W] : Weights)
+    Fn(T, W);
+}
+
+DynamicCallGraph::SiteDistribution
+DynamicCallGraph::siteDistribution(MethodId Caller, BytecodeIndex Site) const {
+  SiteDistribution Dist;
+  for (const auto &[T, W] : Weights) {
+    const ContextPair &Inner = T.innermost();
+    if (Inner.Caller != Caller || Inner.Site != Site)
+      continue;
+    Dist.Total += W;
+    auto It = std::lower_bound(
+        Dist.ByCallee.begin(), Dist.ByCallee.end(), T.Callee,
+        [](const auto &Pair, MethodId M) { return Pair.first < M; });
+    if (It != Dist.ByCallee.end() && It->first == T.Callee)
+      It->second += W;
+    else
+      Dist.ByCallee.insert(It, {T.Callee, W});
+  }
+  return Dist;
+}
+
+std::vector<ContextPair> DynamicCallGraph::allSites() const {
+  std::vector<ContextPair> Sites;
+  for (const auto &[T, W] : Weights) {
+    (void)W;
+    Sites.push_back(T.innermost());
+  }
+  std::sort(Sites.begin(), Sites.end());
+  Sites.erase(std::unique(Sites.begin(), Sites.end()), Sites.end());
+  return Sites;
+}
+
+double DynamicCallGraph::minContextSkew(MethodId Caller, BytecodeIndex Site,
+                                        double MinGroupWeight,
+                                        unsigned ContextLength) const {
+  // Group this site's traces by full context.
+  struct Group {
+    double Total = 0;
+    double Top = 0;
+    std::vector<std::pair<MethodId, double>> ByCallee;
+  };
+  std::unordered_map<size_t, Group> Groups; // keyed by context hash
+  for (const auto &[T, W] : Weights) {
+    const ContextPair &Inner = T.innermost();
+    if (Inner.Caller != Caller || Inner.Site != Site)
+      continue;
+    if (ContextLength != 0 && T.depth() != ContextLength)
+      continue;
+    TraceHash Hasher;
+    Trace ContextOnly;
+    ContextOnly.Context = T.Context;
+    ContextOnly.Callee = InvalidMethodId; // hash context only
+    Group &G = Groups[Hasher(ContextOnly)];
+    G.Total += W;
+    bool Found = false;
+    for (auto &[Callee, CW] : G.ByCallee)
+      if (Callee == T.Callee) {
+        CW += W;
+        Found = true;
+        break;
+      }
+    if (!Found)
+      G.ByCallee.push_back({T.Callee, W});
+  }
+
+  double MinSkew = 1.0;
+  bool AnyGroup = false;
+  for (const auto &[Key, G] : Groups) {
+    (void)Key;
+    if (G.Total < MinGroupWeight)
+      continue;
+    AnyGroup = true;
+    double Top = 0;
+    for (const auto &[Callee, CW] : G.ByCallee) {
+      (void)Callee;
+      if (CW > Top)
+        Top = CW;
+    }
+    double Skew = Top / G.Total;
+    if (Skew < MinSkew)
+      MinSkew = Skew;
+  }
+  return AnyGroup ? MinSkew : -1.0;
+}
+
+void DynamicCallGraph::clear() {
+  Weights.clear();
+  Total = 0;
+}

@@ -1,0 +1,91 @@
+//===- profile/DynamicCallGraph.h - Trace-weighted call graph ---*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile data structure the dynamic call graph organizer maintains:
+/// a weight per sampled Trace. Following Section 3.3, partial matches are
+/// NOT merged when samples are collected — each distinct trace keeps its
+/// own weight — and partial matching happens later, in the inline oracle.
+/// The decay organizer periodically scales all weights to bias hot-edge
+/// detection toward recent behaviour (Section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_PROFILE_DYNAMICCALLGRAPH_H
+#define AOCI_PROFILE_DYNAMICCALLGRAPH_H
+
+#include "profile/Context.h"
+
+#include <functional>
+#include <unordered_map>
+
+namespace aoci {
+
+/// Weighted multiset of sampled traces.
+class DynamicCallGraph {
+public:
+  /// Adds \p Weight to \p T's entry (inserting it on first sight).
+  void addSample(const Trace &T, double Weight = 1.0);
+
+  /// Weight recorded for exactly \p T (no partial matching); 0 if absent.
+  double weight(const Trace &T) const;
+
+  /// Sum of all trace weights. The adaptive inlining organizer's hotness
+  /// threshold is a fraction of this.
+  double totalWeight() const { return Total; }
+
+  size_t numTraces() const { return Weights.size(); }
+
+  /// Multiplies every weight by \p Factor (0 < Factor <= 1), dropping
+  /// entries that fall below \p DropBelow to bound table growth.
+  void decay(double Factor, double DropBelow = 0.01);
+
+  /// Invokes \p Fn for every (trace, weight) pair. Iteration order is
+  /// unspecified; callers that need determinism must sort.
+  void forEach(const std::function<void(const Trace &, double)> &Fn) const;
+
+  /// Receiver-method distribution of one call site, aggregated over the
+  /// innermost pair of every trace: for (Caller, Site), the total weight
+  /// flowing to each distinct callee. Used by the DCG organizer to detect
+  /// polymorphic sites with unskewed distributions (the
+  /// adaptive-imprecision policy) and by tests.
+  struct SiteDistribution {
+    double Total = 0;
+    std::vector<std::pair<MethodId, double>> ByCallee; ///< Sorted by id.
+  };
+  SiteDistribution siteDistribution(MethodId Caller,
+                                    BytecodeIndex Site) const;
+
+  /// All distinct innermost (caller, site) pairs present in the profile,
+  /// sorted. Used by organizers that scan for imprecise sites.
+  std::vector<ContextPair> allSites() const;
+
+  /// Context-resolution measure for the adaptive-imprecision policy:
+  /// groups the site's traces by their full context and returns the
+  /// minimum, over groups carrying at least \p MinGroupWeight, of the
+  /// top callee's share within the group. 1.0 means every observed
+  /// context predicts a single target (the imprecision is resolved);
+  /// values near 1/k mean some context still sees a k-way split.
+  ///
+  /// When \p ContextLength is nonzero only groups whose context has
+  /// exactly that many pairs are considered — the imprecision organizer
+  /// passes the site's current requested depth so stale shallower traces
+  /// do not poison the verdict. Returns -1 when no group qualifies.
+  double minContextSkew(MethodId Caller, BytecodeIndex Site,
+                        double MinGroupWeight = 1.0,
+                        unsigned ContextLength = 0) const;
+
+  void clear();
+
+private:
+  std::unordered_map<Trace, double, TraceHash> Weights;
+  double Total = 0;
+};
+
+} // namespace aoci
+
+#endif // AOCI_PROFILE_DYNAMICCALLGRAPH_H

@@ -1,0 +1,86 @@
+//===- profile/InlineRules.cpp - Hot-trace inlining rules -----------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/InlineRules.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace aoci;
+
+void InlineRuleSet::clear() {
+  BySite.clear();
+  SitesByCaller.clear();
+  NumRules = 0;
+}
+
+void InlineRuleSet::add(InliningRule Rule) {
+  assert(!Rule.T.Context.empty() && "rule trace needs context");
+  const ContextPair Inner = Rule.T.innermost();
+  std::vector<InliningRule> &Bucket = BySite[Inner];
+  for (InliningRule &Existing : Bucket) {
+    if (Existing.T == Rule.T) {
+      Existing = std::move(Rule);
+      return;
+    }
+  }
+  if (Bucket.empty()) {
+    std::vector<ContextPair> &Sites = SitesByCaller[Inner.Caller];
+    if (std::find(Sites.begin(), Sites.end(), Inner) == Sites.end())
+      Sites.push_back(Inner);
+  }
+  Bucket.push_back(std::move(Rule));
+  ++NumRules;
+}
+
+std::vector<const InliningRule *> InlineRuleSet::applicableRules(
+    const std::vector<ContextPair> &CompilationContext) const {
+  assert(!CompilationContext.empty() &&
+         "compilation context needs the call site itself");
+  std::vector<const InliningRule *> Out;
+  auto It = BySite.find(CompilationContext.front());
+  if (It == BySite.end())
+    return Out;
+  for (const InliningRule &Rule : It->second)
+    if (partialContextMatch(CompilationContext, Rule.T.Context))
+      Out.push_back(&Rule);
+  return Out;
+}
+
+std::vector<const InliningRule *>
+InlineRuleSet::rulesForCaller(MethodId Caller) const {
+  std::vector<const InliningRule *> Out;
+  auto It = SitesByCaller.find(Caller);
+  if (It == SitesByCaller.end())
+    return Out;
+  for (const ContextPair &Site : It->second) {
+    auto Bucket = BySite.find(Site);
+    assert(Bucket != BySite.end() && "site index out of sync");
+    for (const InliningRule &Rule : Bucket->second)
+      Out.push_back(&Rule);
+  }
+  return Out;
+}
+
+const InliningRule *InlineRuleSet::find(const Trace &T) const {
+  auto It = BySite.find(T.innermost());
+  if (It == BySite.end())
+    return nullptr;
+  for (const InliningRule &Rule : It->second)
+    if (Rule.T == T)
+      return &Rule;
+  return nullptr;
+}
+
+void InlineRuleSet::forEach(
+    const std::function<void(const InliningRule &)> &Fn) const {
+  for (const auto &[Site, Bucket] : BySite) {
+    (void)Site;
+    for (const InliningRule &Rule : Bucket)
+      Fn(Rule);
+  }
+}

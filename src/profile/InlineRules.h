@@ -1,0 +1,81 @@
+//===- profile/InlineRules.h - Hot-trace inlining rules ---------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inlining rules the adaptive inlining organizer codifies from hot
+/// traces ("edges that should be inlined if possible", Section 3.2),
+/// together with the indexed rule set the inline oracle queries. The set
+/// supports the oracle's Equation-3 partial-match query: given a
+/// compilation context for a call site, return all applicable rules
+/// grouped by identical rule context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_PROFILE_INLINERULES_H
+#define AOCI_PROFILE_INLINERULES_H
+
+#include "profile/Context.h"
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace aoci {
+
+/// One rule: "the target of this trace is hot and should be inlined".
+struct InliningRule {
+  Trace T;
+  /// Profile weight at codification time; used for guard ordering.
+  double Weight = 0;
+  /// VM clock when the rule was created; the AI missing-edge organizer
+  /// compares this against method compile times.
+  uint64_t CreatedAtCycle = 0;
+};
+
+/// The current rule set, rebuilt by the AI organizer on each wakeup and
+/// consumed by the inline oracle at compilation time.
+class InlineRuleSet {
+public:
+  void clear();
+
+  /// Adds a rule. Duplicate traces replace the previous entry.
+  void add(InliningRule Rule);
+
+  size_t size() const { return NumRules; }
+  bool empty() const { return NumRules == 0; }
+
+  /// All rules whose innermost pair is (Caller, Site) and whose context
+  /// partially matches \p CompilationContext per Equation 3. The
+  /// compilation context is innermost-first and its first element must be
+  /// the (Caller, Site) pair itself.
+  std::vector<const InliningRule *>
+  applicableRules(const std::vector<ContextPair> &CompilationContext) const;
+
+  /// All rules whose innermost caller is \p Caller, regardless of context
+  /// (used by the missing-edge organizer to find methods worth
+  /// recompiling).
+  std::vector<const InliningRule *> rulesForCaller(MethodId Caller) const;
+
+  /// The rule whose trace equals \p T exactly, or null. Used by the AI
+  /// organizer to preserve creation timestamps across rebuilds.
+  const InliningRule *find(const Trace &T) const;
+
+  /// Invokes \p Fn on every rule.
+  void forEach(const std::function<void(const InliningRule &)> &Fn) const;
+
+private:
+  /// Rules bucketed by innermost pair for fast oracle queries.
+  std::unordered_map<ContextPair, std::vector<InliningRule>, ContextPairHash>
+      BySite;
+  /// Secondary index: innermost caller -> sites.
+  std::unordered_map<MethodId, std::vector<ContextPair>> SitesByCaller;
+  size_t NumRules = 0;
+};
+
+} // namespace aoci
+
+#endif // AOCI_PROFILE_INLINERULES_H

@@ -1,0 +1,71 @@
+//===- profile/Listeners.cpp - Sampling listeners --------------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Listeners.h"
+
+#include <algorithm>
+
+using namespace aoci;
+
+bool MethodListener::sample(VirtualMachine &VM, const ThreadState &T) {
+  if (T.Frames.empty())
+    return full();
+  VM.chargeAos(AosComponent::Listeners, VM.costModel().MethodSampleCost);
+  Buffer.push_back(T.Frames.back().Method);
+  return full();
+}
+
+std::vector<MethodId> MethodListener::drain() {
+  std::vector<MethodId> Out;
+  Out.swap(Buffer);
+  return Out;
+}
+
+bool TraceListener::sample(VirtualMachine &VM, const ThreadState &T) {
+  const Program &P = VM.program();
+  const CostModel &Model = VM.costModel();
+
+  std::vector<const Frame *> Frames =
+      InlineAware ? sourceStack(T) : physicalStack(T);
+  if (Frames.size() < 2)
+    return full(); // Thread entry: no caller, no edge.
+
+  // Build the method chain [callee, caller1, caller2, ...].
+  std::vector<MethodId> Chain;
+  Chain.reserve(Frames.size());
+  for (const Frame *F : Frames)
+    Chain.push_back(F->Method);
+
+  const BytecodeIndex InnermostSite = Frames[1]->PC;
+  const unsigned Depth = Policy.traceDepth(P, Chain, InnermostSite);
+
+  // Charge the sampling cost: a plain edge inspection, plus a per-frame
+  // walking cost for every level beyond the first (context sensitivity's
+  // direct overhead, Figure 6's "AOS Listeners" doubling).
+  uint64_t Cost = Model.EdgeSampleCost;
+  if (Depth > 1)
+    Cost += Model.TraceFrameCost * (Depth - 1);
+  VM.chargeAos(AosComponent::Listeners, Cost);
+
+  Trace Sample;
+  Sample.Callee = Chain[0];
+  Sample.Context.reserve(Depth);
+  for (unsigned K = 1; K <= Depth; ++K)
+    Sample.Context.push_back(ContextPair{Frames[K]->Method, Frames[K]->PC});
+  Buffer.push_back(std::move(Sample));
+
+  if (CollectStats)
+    Stats.record(P, Chain, Depth);
+
+  return full();
+}
+
+std::vector<Trace> TraceListener::drain() {
+  std::vector<Trace> Out;
+  Out.swap(Buffer);
+  return Out;
+}

@@ -1,0 +1,98 @@
+//===- profile/Listeners.h - Sampling listeners -----------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three listeners of Figure 3. On each timer sample:
+///
+///  - the *method listener* records the currently executing method (drives
+///    hot-method detection and recompilation);
+///  - at prologue samples, the *edge listener* records a
+///    (caller, callsite, callee) tuple (context-insensitive profiling, as
+///    in the pre-existing Jikes system), or
+///  - the *trace listener* — this paper's addition — walks the recovered
+///    source-level call stack and records a variable-depth trace, with the
+///    walk depth chosen by the active ContextPolicy.
+///
+/// Listeners fill bounded buffers; when a buffer fills, the owning
+/// organizer is expected to drain it (the AdaptiveSystem drives this).
+/// Every listener charges its sampling cost to the VM's AOS-listener
+/// meter, reproducing the overhead accounting of Figure 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_PROFILE_LISTENERS_H
+#define AOCI_PROFILE_LISTENERS_H
+
+#include "policy/ContextPolicy.h"
+#include "profile/Context.h"
+#include "profile/TraceStatistics.h"
+#include "vm/VirtualMachine.h"
+
+#include <vector>
+
+namespace aoci {
+
+/// Records the currently executing (source) method on every sample.
+class MethodListener {
+public:
+  explicit MethodListener(size_t Capacity = 64) : Capacity(Capacity) {}
+
+  /// Takes a sample; returns true when the buffer is now full.
+  bool sample(VirtualMachine &VM, const ThreadState &T);
+
+  /// Removes and returns the buffered samples.
+  std::vector<MethodId> drain();
+
+  bool full() const { return Buffer.size() >= Capacity; }
+  size_t size() const { return Buffer.size(); }
+
+private:
+  size_t Capacity;
+  std::vector<MethodId> Buffer;
+};
+
+/// Records variable-depth call traces at prologue samples. With a
+/// depth-1 policy this degenerates to the classic edge listener (and is
+/// charged the cheaper edge-sample cost).
+class TraceListener {
+public:
+  /// \p Policy must outlive the listener. \p InlineAware selects the
+  /// Section 3.3 stack walk: true uses the recovered source-level frames;
+  /// false is the naive physical-frame walk kept for the ablation study.
+  TraceListener(const ContextPolicy &Policy, size_t Capacity = 64,
+                bool InlineAware = true)
+      : Policy(Policy), Capacity(Capacity), InlineAware(InlineAware) {}
+
+  /// Takes a prologue sample; returns true when the buffer is now full.
+  /// Samples with no caller frame (thread entry) are ignored.
+  bool sample(VirtualMachine &VM, const ThreadState &T);
+
+  /// Removes and returns the buffered traces.
+  std::vector<Trace> drain();
+
+  bool full() const { return Buffer.size() >= Capacity; }
+  size_t size() const { return Buffer.size(); }
+
+  /// Enables the Section 4 chain instrumentation (off by default; it is
+  /// experiment tooling and charges no VM cycles).
+  void enableStatistics() { CollectStats = true; }
+  const TraceStatistics &statistics() const { return Stats; }
+
+  const ContextPolicy &policy() const { return Policy; }
+
+private:
+  const ContextPolicy &Policy;
+  size_t Capacity;
+  bool InlineAware;
+  bool CollectStats = false;
+  std::vector<Trace> Buffer;
+  TraceStatistics Stats;
+};
+
+} // namespace aoci
+
+#endif // AOCI_PROFILE_LISTENERS_H

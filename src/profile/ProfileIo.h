@@ -1,0 +1,48 @@
+//===- profile/ProfileIo.h - Profile persistence ----------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization of profile data. The paper contrasts its online
+/// system with the offline profile-directed inliners of its related work
+/// (Section 6: train on one run, optimize the next). This module makes
+/// that comparison runnable: a run's dynamic call graph can be saved and
+/// replayed into a later run as pre-seeded inlining rules, turning the
+/// system into the classic offline pipeline. The replay bench measures
+/// how much of the online system's benefit a training run captures — and
+/// what happens when training and production behaviour diverge (the
+/// mispredict vulnerability the paper attributes to offline systems).
+///
+/// Format: one line per trace,
+///   weight caller:site [caller:site ...] => callee
+/// with methods identified by their stable qualified names, so a profile
+/// survives regeneration of the same workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_PROFILE_PROFILEIO_H
+#define AOCI_PROFILE_PROFILEIO_H
+
+#include "profile/DynamicCallGraph.h"
+
+#include <string>
+
+namespace aoci {
+
+/// Serializes \p Dcg to the textual format. Deterministic: traces are
+/// sorted.
+std::string serializeProfile(const Program &P, const DynamicCallGraph &Dcg);
+
+/// Parses a serialized profile back into \p Dcg (which is cleared
+/// first), resolving method names against \p P. Returns false (leaving
+/// \p Dcg cleared) when the text is malformed or names a method \p P
+/// does not contain; \p Error receives a diagnostic.
+bool deserializeProfile(const Program &P, const std::string &Text,
+                        DynamicCallGraph &Dcg, std::string &Error);
+
+} // namespace aoci
+
+#endif // AOCI_PROFILE_PROFILEIO_H

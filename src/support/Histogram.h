@@ -1,0 +1,78 @@
+//===- support/Histogram.h - Integer-bucketed histogram ---------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense histogram over small non-negative integer keys. Used by the
+/// trace listener instrumentation that reproduces the Section 4 statistics
+/// (distribution of stack depths traversed before an early-termination
+/// condition fires).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_SUPPORT_HISTOGRAM_H
+#define AOCI_SUPPORT_HISTOGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aoci {
+
+/// Dense counting histogram over non-negative integer buckets.
+class Histogram {
+public:
+  /// Increments the count of \p Bucket, growing the bucket array on demand.
+  void add(size_t Bucket, uint64_t Count = 1) {
+    if (Bucket >= Counts.size())
+      Counts.resize(Bucket + 1, 0);
+    Counts[Bucket] += Count;
+    Total += Count;
+  }
+
+  /// Returns the count in \p Bucket (0 if never touched).
+  uint64_t count(size_t Bucket) const {
+    return Bucket < Counts.size() ? Counts[Bucket] : 0;
+  }
+
+  /// Returns the sum of all bucket counts.
+  uint64_t total() const { return Total; }
+
+  /// Returns the number of allocated buckets (highest touched bucket + 1).
+  size_t numBuckets() const { return Counts.size(); }
+
+  /// Fraction of the total mass at buckets <= \p Bucket. Returns 0 when the
+  /// histogram is empty.
+  double cumulativeFractionAtOrBelow(size_t Bucket) const {
+    if (Total == 0)
+      return 0;
+    uint64_t Sum = 0;
+    for (size_t I = 0, E = Counts.size(); I != E && I <= Bucket; ++I)
+      Sum += Counts[I];
+    return static_cast<double>(Sum) / static_cast<double>(Total);
+  }
+
+  /// Fraction of the total mass at exactly \p Bucket.
+  double fractionAt(size_t Bucket) const {
+    if (Total == 0)
+      return 0;
+    return static_cast<double>(count(Bucket)) / static_cast<double>(Total);
+  }
+
+  /// Resets all counts.
+  void clear() {
+    Counts.clear();
+    Total = 0;
+  }
+
+private:
+  std::vector<uint64_t> Counts;
+  uint64_t Total = 0;
+};
+
+} // namespace aoci
+
+#endif // AOCI_SUPPORT_HISTOGRAM_H

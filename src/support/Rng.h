@@ -1,0 +1,89 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, seedable xorshift128+ generator. Every source of
+/// randomness in the system (workload construction, receiver selection,
+/// synthetic input streams) flows through instances of this class so that
+/// whole-VM runs are bit-reproducible given a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_SUPPORT_RNG_H
+#define AOCI_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace aoci {
+
+/// Deterministic xorshift128+ pseudo-random number generator.
+class Rng {
+public:
+  /// Seeds the generator. Two generators with equal seeds produce
+  /// identical streams. A zero seed is remapped to a fixed constant since
+  /// the all-zero state is a fixed point of xorshift.
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Resets the stream as if freshly constructed with \p Seed.
+  void reseed(uint64_t Seed) {
+    if (Seed == 0)
+      Seed = 0x9e3779b97f4a7c15ULL;
+    // SplitMix64 expansion of the seed into the 128-bit state.
+    State[0] = splitMix(Seed);
+    State[1] = splitMix(Seed);
+  }
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    uint64_t X = State[0];
+    const uint64_t Y = State[1];
+    State[0] = Y;
+    X ^= X << 23;
+    State[1] = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return State[1] + Y;
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow() requires a nonzero bound");
+    // Multiply-shift range reduction; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniformly distributed value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t splitMix(uint64_t &X) {
+    X += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  uint64_t State[2];
+};
+
+} // namespace aoci
+
+#endif // AOCI_SUPPORT_RNG_H

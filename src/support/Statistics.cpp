@@ -1,0 +1,66 @@
+//===- support/Statistics.cpp - Summary statistics helpers ---------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace aoci;
+
+double aoci::arithmeticMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double Sum = 0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double aoci::geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double LogSum = 0;
+  for (double V : Values) {
+    assert(V > 0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double aoci::harmonicMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double InvSum = 0;
+  for (double V : Values) {
+    assert(V > 0 && "harmonic mean requires positive values");
+    InvSum += 1.0 / V;
+  }
+  return static_cast<double>(Values.size()) / InvSum;
+}
+
+double aoci::harmonicMeanOfPercentages(const std::vector<double> &Percentages) {
+  if (Percentages.empty())
+    return 0;
+  std::vector<double> Ratios;
+  Ratios.reserve(Percentages.size());
+  for (double P : Percentages)
+    Ratios.push_back(1.0 + P / 100.0);
+  return (harmonicMean(Ratios) - 1.0) * 100.0;
+}
+
+double aoci::percentChange(double Baseline, double Value) {
+  if (Baseline == 0)
+    return 0;
+  return (Value - Baseline) / Baseline * 100.0;
+}
+
+double aoci::speedupPercent(double BaselineTime, double CandidateTime) {
+  if (CandidateTime == 0)
+    return 0;
+  return (BaselineTime / CandidateTime - 1.0) * 100.0;
+}

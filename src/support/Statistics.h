@@ -1,0 +1,76 @@
+//===- support/Statistics.h - Summary statistics helpers --------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small numeric helpers used by the experiment harness: means (including
+/// the harmonic mean the paper reports as "harMean"), percentage change,
+/// and an online accumulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_SUPPORT_STATISTICS_H
+#define AOCI_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace aoci {
+
+/// Arithmetic mean of \p Values; returns 0 for an empty input.
+double arithmeticMean(const std::vector<double> &Values);
+
+/// Geometric mean of \p Values; all entries must be positive. Returns 0
+/// for an empty input.
+double geometricMean(const std::vector<double> &Values);
+
+/// Harmonic mean of \p Values; all entries must be positive. Returns 0 for
+/// an empty input. The paper's per-figure "harMean" bar is the harmonic
+/// mean of per-benchmark speedup ratios.
+double harmonicMean(const std::vector<double> &Values);
+
+/// Harmonic mean of speedup percentages. The paper plots speedup as a
+/// percentage improvement; to aggregate we convert each percentage to a
+/// ratio (1 + P/100), take the harmonic mean of the ratios, and convert
+/// back to a percentage.
+double harmonicMeanOfPercentages(const std::vector<double> &Percentages);
+
+/// Percentage change from \p Baseline to \p Value: positive means \p Value
+/// is larger. Returns 0 when \p Baseline is 0.
+double percentChange(double Baseline, double Value);
+
+/// Speedup percentage of \p Candidate relative to \p Baseline where both
+/// are *times* (lower is better): positive means the candidate is faster.
+double speedupPercent(double BaselineTime, double CandidateTime);
+
+/// Online accumulator for min / max / mean / count.
+class RunningStat {
+public:
+  void add(double X) {
+    if (N == 0 || X < Min)
+      Min = X;
+    if (N == 0 || X > Max)
+      Max = X;
+    Sum += X;
+    ++N;
+  }
+
+  size_t count() const { return N; }
+  double min() const { return N ? Min : 0; }
+  double max() const { return N ? Max : 0; }
+  double mean() const { return N ? Sum / static_cast<double>(N) : 0; }
+  double sum() const { return Sum; }
+
+private:
+  size_t N = 0;
+  double Min = 0;
+  double Max = 0;
+  double Sum = 0;
+};
+
+} // namespace aoci
+
+#endif // AOCI_SUPPORT_STATISTICS_H

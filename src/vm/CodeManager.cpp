@@ -1,0 +1,44 @@
+//===- vm/CodeManager.cpp - Installed-code registry -----------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/CodeManager.h"
+
+#include <cassert>
+
+using namespace aoci;
+
+const CodeVariant *CodeManager::install(std::unique_ptr<CodeVariant> Variant) {
+  assert(Variant && "installing a null variant");
+  assert(Variant->M < Current.size() && "method id out of range");
+
+  CodeVariant *Ptr = Variant.get();
+  unsigned Serial = 0;
+  for (const auto &Existing : Variants)
+    if (Existing->M == Ptr->M)
+      ++Serial;
+  Ptr->SerialNumber = Serial;
+
+  if (Ptr->Level == OptLevel::Baseline) {
+    BaseCompileCyclesTotal += Ptr->CompileCycles;
+  } else {
+    OptBytesGenerated += Ptr->CodeBytes;
+    OptCompileCyclesTotal += Ptr->CompileCycles;
+  }
+  ++NumCompiles[static_cast<unsigned>(Ptr->Level)];
+
+  Current[Ptr->M] = Ptr;
+  Variants.push_back(std::move(Variant));
+  return Ptr;
+}
+
+uint64_t CodeManager::optimizedBytesResident() const {
+  uint64_t Bytes = 0;
+  for (const CodeVariant *V : Current)
+    if (V && V->Level != OptLevel::Baseline)
+      Bytes += V->CodeBytes;
+  return Bytes;
+}

@@ -1,0 +1,75 @@
+//===- vm/CodeManager.h - Installed-code registry ----------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns every CodeVariant ever installed and tracks the current variant
+/// per method, along with the code-space and compile-time ledgers behind
+/// Figures 5 and 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_VM_CODEMANAGER_H
+#define AOCI_VM_CODEMANAGER_H
+
+#include "vm/CodeVariant.h"
+
+#include <memory>
+#include <vector>
+
+namespace aoci {
+
+/// Registry of compiled code. Installation never frees the previous
+/// variant: running activations hold raw pointers into it.
+class CodeManager {
+public:
+  explicit CodeManager(unsigned NumMethods) : Current(NumMethods, nullptr) {}
+
+  /// Current variant for \p M, or null when the method has never been
+  /// compiled.
+  const CodeVariant *current(MethodId M) const { return Current[M]; }
+
+  /// Installs \p Variant as the current code for its method and records
+  /// its size/compile cost in the ledgers. Returns the stable pointer.
+  const CodeVariant *install(std::unique_ptr<CodeVariant> Variant);
+
+  /// Cumulative bytes of *optimized* machine code generated over the run
+  /// (baseline code excluded), including code made obsolete by later
+  /// recompilations. This is the code-space measure behind Figure 5: it
+  /// reflects what the optimizing compiler produced and paid for.
+  uint64_t optimizedBytesGenerated() const { return OptBytesGenerated; }
+
+  /// Bytes of optimized code currently installed (final variants only).
+  uint64_t optimizedBytesResident() const;
+
+  /// Cumulative optimizing-compiler cycles (baseline excluded).
+  uint64_t optCompileCycles() const { return OptCompileCyclesTotal; }
+
+  /// Cumulative baseline-compiler cycles.
+  uint64_t baselineCompileCycles() const { return BaseCompileCyclesTotal; }
+
+  /// Number of compilations performed at \p Level.
+  unsigned numCompiles(OptLevel Level) const {
+    return NumCompiles[static_cast<unsigned>(Level)];
+  }
+
+  /// Every variant ever installed, in installation order.
+  const std::vector<std::unique_ptr<CodeVariant>> &allVariants() const {
+    return Variants;
+  }
+
+private:
+  std::vector<std::unique_ptr<CodeVariant>> Variants;
+  std::vector<const CodeVariant *> Current;
+  uint64_t OptBytesGenerated = 0;
+  uint64_t OptCompileCyclesTotal = 0;
+  uint64_t BaseCompileCyclesTotal = 0;
+  unsigned NumCompiles[NumOptLevels] = {0, 0, 0};
+};
+
+} // namespace aoci
+
+#endif // AOCI_VM_CODEMANAGER_H

@@ -1,0 +1,46 @@
+//===- vm/CodeVariant.h - One compiled version of a method ------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CodeVariant is the simulation's stand-in for a blob of machine code:
+/// the method it implements, the optimization level, the inline plan, and
+/// the size/compile-cost ledger entries the experiments aggregate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_VM_CODEVARIANT_H
+#define AOCI_VM_CODEVARIANT_H
+
+#include "vm/CostModel.h"
+#include "vm/InlinePlan.h"
+
+namespace aoci {
+
+/// One compiled version of one method. Old variants stay alive for the
+/// duration of a run because extant activations keep executing them after
+/// a recompilation installs a replacement — the same discipline Jikes RVM
+/// follows.
+struct CodeVariant {
+  MethodId M = InvalidMethodId;
+  OptLevel Level = OptLevel::Baseline;
+  InlinePlan Plan;
+  /// Machine-size units of the generated code (root body + inlined
+  /// bodies + guards).
+  uint64_t MachineUnits = 0;
+  /// Generated code bytes — the quantity Figure 5 tracks.
+  uint64_t CodeBytes = 0;
+  /// Cycles the compiler spent producing this variant.
+  uint64_t CompileCycles = 0;
+  /// VM clock value at installation time.
+  uint64_t CompiledAtCycle = 0;
+  /// Monotonic per-method recompilation counter (0 = first compile).
+  unsigned SerialNumber = 0;
+};
+
+} // namespace aoci
+
+#endif // AOCI_VM_CODEVARIANT_H

@@ -1,0 +1,92 @@
+//===- vm/Heap.h - Objects, arrays, and the GC meter ------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple never-freeing heap of objects and arrays, plus an allocation
+/// meter that models the pause behaviour of the semispace copying
+/// collector the paper's Jikes RVM configuration used. Collection cost
+/// shows up only as charged cycles; storage is reclaimed by the C++
+/// destructor at the end of a run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_VM_HEAP_H
+#define AOCI_VM_HEAP_H
+
+#include "bytecode/Instruction.h"
+#include "vm/Value.h"
+
+#include <cassert>
+#include <vector>
+
+namespace aoci {
+
+/// One heap cell: an instance (Slots are fields) or an array (Slots are
+/// elements).
+struct HeapObject {
+  ClassId Klass = InvalidClassId; ///< InvalidClassId for arrays.
+  bool IsArray = false;
+  std::vector<Value> Slots;
+};
+
+/// The VM heap. Allocation tracks abstract bytes so the GC simulator can
+/// decide when a collection pause would have occurred.
+class Heap {
+public:
+  /// Allocates an instance with \p NumFields zero/null-initialized fields.
+  ObjectRef allocateObject(ClassId K, unsigned NumFields) {
+    HeapObject Obj;
+    Obj.Klass = K;
+    Obj.Slots.assign(NumFields, Value());
+    return push(std::move(Obj), 16 + 8 * NumFields);
+  }
+
+  /// Allocates an array of \p Length zero-initialized elements.
+  ObjectRef allocateArray(unsigned Length) {
+    HeapObject Obj;
+    Obj.IsArray = true;
+    Obj.Slots.assign(Length, Value());
+    return push(std::move(Obj), 16 + 8 * Length);
+  }
+
+  HeapObject &object(ObjectRef R) {
+    assert(R < Objects.size() && "dangling object reference");
+    return Objects[R];
+  }
+
+  const HeapObject &object(ObjectRef R) const {
+    assert(R < Objects.size() && "dangling object reference");
+    return Objects[R];
+  }
+
+  /// Abstract bytes allocated since the last collection.
+  uint64_t bytesSinceGc() const { return BytesSinceGc; }
+
+  /// Total abstract bytes ever allocated.
+  uint64_t totalBytesAllocated() const { return TotalBytes; }
+
+  size_t numObjects() const { return Objects.size(); }
+
+  /// Called by the GC simulator after it charges a pause.
+  void noteCollection() { BytesSinceGc = 0; }
+
+private:
+  ObjectRef push(HeapObject Obj, uint64_t Bytes) {
+    Objects.push_back(std::move(Obj));
+    BytesSinceGc += Bytes;
+    TotalBytes += Bytes;
+    return static_cast<ObjectRef>(Objects.size() - 1);
+  }
+
+  std::vector<HeapObject> Objects;
+  uint64_t BytesSinceGc = 0;
+  uint64_t TotalBytes = 0;
+};
+
+} // namespace aoci
+
+#endif // AOCI_VM_HEAP_H

@@ -1,0 +1,58 @@
+//===- vm/InlinePlan.cpp - Inline decision trees --------------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/InlinePlan.h"
+
+#include <algorithm>
+
+using namespace aoci;
+
+const InlineNode::SiteDecision *InlineNode::find(BytecodeIndex Site) const {
+  auto It = std::lower_bound(
+      Sites.begin(), Sites.end(), Site,
+      [](const SiteDecision &D, BytecodeIndex S) { return D.Site < S; });
+  if (It == Sites.end() || It->Site != Site)
+    return nullptr;
+  return &*It;
+}
+
+InlineNode::SiteDecision &InlineNode::getOrCreate(BytecodeIndex Site) {
+  auto It = std::lower_bound(
+      Sites.begin(), Sites.end(), Site,
+      [](const SiteDecision &D, BytecodeIndex S) { return D.Site < S; });
+  if (It != Sites.end() && It->Site == Site)
+    return *It;
+  SiteDecision D;
+  D.Site = Site;
+  return *Sites.insert(It, std::move(D));
+}
+
+namespace {
+
+void countNode(const InlineNode &Node, uint32_t Depth, uint32_t &Bodies,
+               uint32_t &Guards, uint32_t &MaxDepth) {
+  for (const auto &Decision : Node.Sites) {
+    for (const InlineCase &Case : Decision.Cases) {
+      ++Bodies;
+      if (Case.Guarded)
+        ++Guards;
+      if (Depth + 1 > MaxDepth)
+        MaxDepth = Depth + 1;
+      if (Case.Body)
+        countNode(*Case.Body, Depth + 1, Bodies, Guards, MaxDepth);
+    }
+  }
+}
+
+} // namespace
+
+void InlinePlan::recountStatistics() {
+  NumInlineBodies = 0;
+  NumGuards = 0;
+  MaxDepth = 0;
+  countNode(Root, 0, NumInlineBodies, NumGuards, MaxDepth);
+}

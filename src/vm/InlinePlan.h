@@ -1,0 +1,99 @@
+//===- vm/InlinePlan.h - Inline decision trees -------------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inline plan attached to an optimized code variant: for each call
+/// site of the root method (and, recursively, of inlined bodies), the list
+/// of inlined target cases. A case is either unguarded (the compiler
+/// proved the target) or guarded by a method test; when no guard matches
+/// at runtime the interpreter falls back to full dynamic dispatch, which
+/// is exactly the guarded-inlining semantics of Section 3.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_VM_INLINEPLAN_H
+#define AOCI_VM_INLINEPLAN_H
+
+#include "bytecode/Instruction.h"
+
+#include <memory>
+#include <vector>
+
+namespace aoci {
+
+struct InlineNode;
+
+/// One inlined target at a call site.
+struct InlineCase {
+  /// The inlined method.
+  MethodId Callee = InvalidMethodId;
+  /// True when a runtime method-test guard protects this case; false when
+  /// static analysis proved the target (no test, no fallback).
+  bool Guarded = false;
+  /// Machine-size units the inlined body contributes to the generated
+  /// code (after the constant-argument reduction of footnote 1); computed
+  /// by the plan builder.
+  uint32_t BodyUnits = 0;
+  /// Inline decisions for call sites inside this inlined body; null when
+  /// nothing further was inlined.
+  std::unique_ptr<InlineNode> Body;
+};
+
+/// Inline decisions for every call site of one method body.
+struct InlineNode {
+  struct SiteDecision {
+    BytecodeIndex Site = 0;
+    std::vector<InlineCase> Cases;
+  };
+
+  /// Decisions sorted by Site for binary search.
+  std::vector<SiteDecision> Sites;
+
+  /// Returns the decision for \p Site, or null when the site was left as
+  /// an ordinary call.
+  const SiteDecision *find(BytecodeIndex Site) const;
+
+  /// Adds (or returns the existing) decision slot for \p Site, keeping the
+  /// vector sorted.
+  SiteDecision &getOrCreate(BytecodeIndex Site);
+
+  bool empty() const { return Sites.empty(); }
+};
+
+/// The complete plan for one compiled method, plus summary statistics the
+/// compiler fills in while building it.
+struct InlinePlan {
+  /// Decisions for the root method's own call sites.
+  InlineNode Root;
+
+  /// Total machine-size units of the generated code: the root body plus
+  /// all inlined bodies and guard sequences.
+  uint64_t TotalUnits = 0;
+  /// Number of inline cases (bodies spliced in) across the whole tree.
+  uint32_t NumInlineBodies = 0;
+  /// Number of guarded cases across the whole tree.
+  uint32_t NumGuards = 0;
+  /// Deepest chain of nested inlined bodies.
+  uint32_t MaxDepth = 0;
+
+  InlinePlan() = default;
+  InlinePlan(InlinePlan &&) = default;
+  InlinePlan &operator=(InlinePlan &&) = default;
+  InlinePlan(const InlinePlan &) = delete;
+  InlinePlan &operator=(const InlinePlan &) = delete;
+
+  bool empty() const { return Root.empty(); }
+
+  /// Recomputes NumInlineBodies / NumGuards / MaxDepth from the tree
+  /// (TotalUnits is the builder's responsibility since it depends on the
+  /// size estimator). Provided for tests and hand-built plans.
+  void recountStatistics();
+};
+
+} // namespace aoci
+
+#endif // AOCI_VM_INLINEPLAN_H

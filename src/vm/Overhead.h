@@ -1,0 +1,79 @@
+//===- vm/Overhead.h - AOS component time accounting ------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-component cycle meters behind Figure 6, which breaks execution
+/// time down into the adaptive optimization system's components: AOS
+/// listeners, compilation thread, decay organizer, AI organizer (which in
+/// our accounting includes the dynamic call graph organizer feeding it),
+/// method-sample organizer, and controller thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_VM_OVERHEAD_H
+#define AOCI_VM_OVERHEAD_H
+
+#include <cstdint>
+
+namespace aoci {
+
+/// The AOS components Figure 6 reports.
+enum class AosComponent : uint8_t {
+  Listeners,       ///< Method/edge/trace listeners taking samples.
+  Compilation,     ///< The optimizing compilation thread.
+  DecayOrganizer,  ///< Periodic decay of the dynamic call graph.
+  AiOrganizer,     ///< Adaptive inlining organizer + DCG organizer +
+                   ///< AI missing-edge organizer.
+  MethodOrganizer, ///< Hot-methods (method sample) organizer.
+  Controller,      ///< The controller's analytic decision making.
+};
+
+constexpr unsigned NumAosComponents = 6;
+
+inline const char *aosComponentName(AosComponent C) {
+  switch (C) {
+  case AosComponent::Listeners:
+    return "AOS Listeners";
+  case AosComponent::Compilation:
+    return "CompilationThread";
+  case AosComponent::DecayOrganizer:
+    return "DecayOrganizer";
+  case AosComponent::AiOrganizer:
+    return "AIOrganizer";
+  case AosComponent::MethodOrganizer:
+    return "MethodSampleOrganizer";
+  case AosComponent::Controller:
+    return "ControllerThread";
+  }
+  return "<invalid>";
+}
+
+/// Cycle meter per AOS component.
+class OverheadMeter {
+public:
+  void charge(AosComponent C, uint64_t Cycles) {
+    CyclesBy[static_cast<unsigned>(C)] += Cycles;
+  }
+
+  uint64_t cycles(AosComponent C) const {
+    return CyclesBy[static_cast<unsigned>(C)];
+  }
+
+  uint64_t total() const {
+    uint64_t Sum = 0;
+    for (uint64_t C : CyclesBy)
+      Sum += C;
+    return Sum;
+  }
+
+private:
+  uint64_t CyclesBy[NumAosComponents] = {0, 0, 0, 0, 0, 0};
+};
+
+} // namespace aoci
+
+#endif // AOCI_VM_OVERHEAD_H

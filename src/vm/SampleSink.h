@@ -1,0 +1,43 @@
+//===- vm/SampleSink.h - Timer-sample delivery interface --------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The callback through which the VM delivers timer samples to the
+/// adaptive optimization system. The VM takes a sample at the first yield
+/// point (method prologue or loop backedge) after the sampling timer
+/// fires, mirroring Jikes RVM's yieldpoint-based sampling; the sink — the
+/// listeners plus everything downstream of them — runs synchronously and
+/// charges its own cycles back to the VM clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_VM_SAMPLESINK_H
+#define AOCI_VM_SAMPLESINK_H
+
+namespace aoci {
+
+class VirtualMachine;
+struct ThreadState;
+
+/// Receiver of timer samples.
+class SampleSink {
+public:
+  virtual ~SampleSink() = default;
+
+  /// Called once per delivered timer sample. \p AtPrologue is true when
+  /// the yield point was a method prologue, in which case the edge/trace
+  /// listeners are eligible to record a call-stack sample (Section 3.2).
+  virtual void onSample(VirtualMachine &VM, ThreadState &Thread,
+                        bool AtPrologue) = 0;
+
+protected:
+  SampleSink() = default;
+};
+
+} // namespace aoci
+
+#endif // AOCI_VM_SAMPLESINK_H

@@ -1,0 +1,84 @@
+//===- vm/Value.h - Tagged runtime values -----------------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamically tagged value the interpreter's operand stacks and local
+/// slots hold: a 64-bit integer, a heap reference, or null.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_VM_VALUE_H
+#define AOCI_VM_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace aoci {
+
+/// Index of an object in the Heap.
+using ObjectRef = uint32_t;
+
+/// A tagged runtime value.
+class Value {
+public:
+  enum class Kind : uint8_t { Int, Ref, Null };
+
+  /// Default-constructed values are integer zero, matching the VM's
+  /// definite-assignment-free local initialization.
+  Value() : K(Kind::Int), IntBits(0) {}
+
+  static Value makeInt(int64_t V) {
+    Value Val;
+    Val.K = Kind::Int;
+    Val.IntBits = V;
+    return Val;
+  }
+
+  static Value makeRef(ObjectRef R) {
+    Value Val;
+    Val.K = Kind::Ref;
+    Val.IntBits = R;
+    return Val;
+  }
+
+  static Value makeNull() {
+    Value Val;
+    Val.K = Kind::Null;
+    Val.IntBits = 0;
+    return Val;
+  }
+
+  Kind kind() const { return K; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isRef() const { return K == Kind::Ref; }
+  bool isNull() const { return K == Kind::Null; }
+
+  int64_t asInt() const {
+    assert(isInt() && "value is not an integer");
+    return IntBits;
+  }
+
+  ObjectRef asRef() const {
+    assert(isRef() && "value is not a reference");
+    return static_cast<ObjectRef>(IntBits);
+  }
+
+  /// Identity / numeric equality, as the ICmpEq opcode defines it.
+  bool equals(const Value &Other) const {
+    if (K != Other.K)
+      return false;
+    return IntBits == Other.IntBits;
+  }
+
+private:
+  Kind K;
+  int64_t IntBits;
+};
+
+} // namespace aoci
+
+#endif // AOCI_VM_VALUE_H

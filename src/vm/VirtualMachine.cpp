@@ -1,0 +1,556 @@
+//===- vm/VirtualMachine.cpp - The simulated JVM ---------------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VirtualMachine.h"
+
+#include "bytecode/Verifier.h"
+
+#include <cassert>
+#include <cstdint>
+
+using namespace aoci;
+
+VirtualMachine::VirtualMachine(const Program &P, CostModel Model)
+    : P(P), Model(Model), Hierarchy(P), Code(P.numMethods()),
+      NextSampleAt(Model.SamplePeriodCycles),
+      SampleJitter(Model.SampleJitterSeed) {
+#ifndef NDEBUG
+  assert(verifyProgram(P).empty() && "program failed verification");
+#endif
+}
+
+unsigned VirtualMachine::addThread(MethodId Entry) {
+  const Method &M = P.method(Entry);
+  assert(M.Kind == MethodKind::Static && M.NumParams == 0 &&
+         "thread entry must be a static no-arg method");
+
+  auto T = std::make_unique<ThreadState>();
+  T->Id = static_cast<unsigned>(Threads.size());
+
+  const CodeVariant *V = ensureCompiled(Entry);
+  Frame F;
+  F.Method = Entry;
+  F.Variant = V;
+  F.PlanNode = V->Plan.empty() ? nullptr : &V->Plan.Root;
+  F.Locals.assign(M.NumLocals, Value());
+  T->Frames.push_back(std::move(F));
+
+  Threads.push_back(std::move(T));
+  return Threads.back()->Id;
+}
+
+const CodeVariant *VirtualMachine::ensureCompiled(MethodId M) {
+  if (const CodeVariant *V = Code.current(M))
+    return V;
+
+  const Method &Meth = P.method(M);
+  assert(!Meth.IsAbstract && "cannot compile an abstract method");
+
+  auto V = std::make_unique<CodeVariant>();
+  V->M = M;
+  V->Level = OptLevel::Baseline;
+  V->MachineUnits = Meth.machineSize();
+  V->CodeBytes = Model.codeBytes(OptLevel::Baseline, V->MachineUnits);
+  V->CompileCycles = Model.compileCycles(OptLevel::Baseline, V->MachineUnits);
+  // Baseline compilation happens on the application thread in Jikes; it
+  // advances the clock but is not AOS overhead.
+  charge(V->CompileCycles);
+  V->CompiledAtCycle = Clock;
+  return Code.install(std::move(V));
+}
+
+void VirtualMachine::run(uint64_t CycleLimit) {
+  while (Clock < CycleLimit) {
+    bool AnyAlive = false;
+    for (auto &TPtr : Threads) {
+      ThreadState &T = *TPtr;
+      if (T.Finished)
+        continue;
+      AnyAlive = true;
+      const uint64_t QuantumEnd = Clock + Model.ThreadQuantumCycles;
+      while (!T.Finished && Clock < QuantumEnd && Clock < CycleLimit)
+        stepInstruction(T);
+    }
+    if (!AnyAlive)
+      break;
+  }
+}
+
+void VirtualMachine::step(ThreadState &T, uint64_t MaxInstructions) {
+  for (uint64_t I = 0; I != MaxInstructions && !T.Finished; ++I)
+    stepInstruction(T);
+}
+
+void VirtualMachine::chargeInstruction(const Frame &F, const Instruction &I) {
+  uint64_t Cost = I.machineSize() * Model.cyclesPerUnit(F.Variant->Level);
+  // Inlined bodies see the scope benefit of cross-call optimization.
+  if (F.Inlined)
+    Cost = Cost * Model.ScopeBonusNum / Model.ScopeBonusDen;
+  charge(Cost);
+}
+
+void VirtualMachine::maybeDeliverSample(ThreadState &T, bool AtPrologue) {
+  if (Clock < NextSampleAt)
+    return;
+  while (NextSampleAt <= Clock)
+    NextSampleAt += jitteredPeriod();
+  ++Counters.SamplesTaken;
+  if (AtPrologue)
+    ++Counters.PrologueSamples;
+  if (Sink)
+    Sink->onSample(*this, T, AtPrologue);
+}
+
+void VirtualMachine::maybeCollectGarbage() {
+  if (TheHeap.bytesSinceGc() < Model.GcTriggerBytes)
+    return;
+  uint64_t Pause = Model.GcPauseBase +
+                   Model.GcPausePerKilobyte * (TheHeap.bytesSinceGc() / 1024);
+  charge(Pause);
+  ++Counters.GcPauses;
+  Counters.GcCycles += Pause;
+  TheHeap.noteCollection();
+}
+
+void VirtualMachine::popArgsInto(Frame &Caller, Frame &Callee,
+                                 unsigned ArgSlots) {
+  assert(Caller.Stack.size() >= ArgSlots && "missing call arguments");
+  const size_t Base = Caller.Stack.size() - ArgSlots;
+  for (unsigned I = 0; I != ArgSlots; ++I)
+    Callee.Locals[I] = Caller.Stack[Base + I];
+  Caller.Stack.resize(Base);
+}
+
+void VirtualMachine::enterPhysicalFrame(ThreadState &T, MethodId Callee,
+                                        const CodeVariant *Variant) {
+  const Method &M = P.method(Callee);
+  Frame NewFrame;
+  NewFrame.Method = Callee;
+  NewFrame.Variant = Variant;
+  NewFrame.PlanNode = Variant->Plan.empty() ? nullptr : &Variant->Plan.Root;
+  NewFrame.Inlined = false;
+  NewFrame.Locals.assign(M.NumLocals, Value());
+  popArgsInto(T.Frames.back(), NewFrame, M.numArgSlots());
+  assert(T.Frames.size() < 4096 && "runaway recursion");
+  T.Frames.push_back(std::move(NewFrame));
+  ++Counters.CallsExecuted;
+}
+
+void VirtualMachine::enterInlinedFrame(ThreadState &T,
+                                       const InlineCase &Case) {
+  const Method &M = P.method(Case.Callee);
+  Frame &Caller = T.Frames.back();
+  charge(Model.InlineEntry);
+  Frame NewFrame;
+  NewFrame.Method = Case.Callee;
+  NewFrame.Variant = Caller.Variant;
+  NewFrame.PlanNode = Case.Body.get();
+  NewFrame.Inlined = true;
+  NewFrame.Locals.assign(M.NumLocals, Value());
+  popArgsInto(Caller, NewFrame, M.numArgSlots());
+  assert(T.Frames.size() < 4096 && "runaway recursion");
+  T.Frames.push_back(std::move(NewFrame));
+  ++Counters.InlinedCallsEntered;
+}
+
+void VirtualMachine::handleCall(ThreadState &T, const Instruction &I) {
+  const MethodId DeclId = static_cast<MethodId>(I.Operand);
+  const Method &Decl = P.method(DeclId);
+  const unsigned ArgSlots = Decl.numArgSlots();
+
+  Frame &F = T.Frames.back();
+  assert(F.Stack.size() >= ArgSlots && "stack underflow at call");
+
+  // Resolve the runtime target and the dispatch cost a full dynamic call
+  // would pay.
+  MethodId Target = DeclId;
+  uint64_t DispatchCost = 0;
+  if (I.Op == Opcode::InvokeVirtual || I.Op == Opcode::InvokeInterface) {
+    const Value &Receiver = F.Stack[F.Stack.size() - ArgSlots];
+    assert(Receiver.isRef() && "null or non-reference receiver");
+    const HeapObject &Obj = TheHeap.object(Receiver.asRef());
+    assert(!Obj.IsArray && "virtual call on an array");
+    Target = Hierarchy.resolveVirtual(Obj.Klass, Decl.OverrideRoot);
+    assert(Target != InvalidMethodId && "receiver does not implement method");
+    DispatchCost = I.Op == Opcode::InvokeVirtual ? Model.VirtualDispatch
+                                                 : Model.InterfaceDispatch;
+  }
+
+  // Consult the active inline plan for this call site.
+  if (F.PlanNode) {
+    if (const InlineNode::SiteDecision *Decision = F.PlanNode->find(F.PC)) {
+      for (const InlineCase &Case : Decision->Cases) {
+        if (Case.Guarded) {
+          charge(Model.GuardTest);
+          ++Counters.GuardTestsExecuted;
+          if (Case.Callee != Target)
+            continue;
+        } else {
+          assert(Case.Callee == Target &&
+                 "unguarded inline of a mispredicted target");
+        }
+        enterInlinedFrame(T, Case);
+        return;
+      }
+      // Every guard failed: fall back to the virtual invocation the
+      // compiler left behind (Section 5's "fallback virtual invocation").
+      ++Counters.GuardFallbacks;
+    }
+  }
+
+  charge(Model.CallOverhead + DispatchCost);
+  const CodeVariant *V = ensureCompiled(Target);
+  enterPhysicalFrame(T, Target, V);
+  // A physical method entry is a prologue yieldpoint (Section 3.2): if the
+  // timer has fired, the edge/trace listeners sample here.
+  maybeDeliverSample(T, /*AtPrologue=*/true);
+}
+
+void VirtualMachine::handleReturn(ThreadState &T, bool HasValue) {
+  Frame Done = std::move(T.Frames.back());
+  T.Frames.pop_back();
+
+  Value Ret;
+  if (HasValue) {
+    assert(!Done.Stack.empty() && "value return with empty stack");
+    Ret = Done.Stack.back();
+  }
+  charge(Done.Inlined ? 1 : Model.ReturnOverhead);
+
+  if (T.Frames.empty()) {
+    T.Finished = true;
+    if (HasValue)
+      T.Result = Ret;
+    return;
+  }
+
+  Frame &Caller = T.Frames.back();
+  assert(isInvoke(P.method(Caller.Method).Body[Caller.PC].Op) &&
+         "caller not suspended at an invoke");
+  ++Caller.PC;
+  if (HasValue)
+    Caller.Stack.push_back(Ret);
+}
+
+bool VirtualMachine::stepInstruction(ThreadState &T) {
+  if (T.Finished)
+    return false;
+
+  Frame &F = T.Frames.back();
+  const Method &M = P.method(F.Method);
+  assert(F.PC < M.Body.size() && "PC out of range");
+  const Instruction &I = M.Body[F.PC];
+
+  ++Counters.InstructionsExecuted;
+  chargeInstruction(F, I);
+
+  auto push = [&F](Value V) { F.Stack.push_back(V); };
+  auto popValue = [&F]() {
+    assert(!F.Stack.empty() && "operand stack underflow");
+    Value V = F.Stack.back();
+    F.Stack.pop_back();
+    return V;
+  };
+  auto popInt = [&popValue]() { return popValue().asInt(); };
+  auto binaryInt = [&](auto Fn) {
+    int64_t B = popInt();
+    int64_t A = popInt();
+    push(Value::makeInt(Fn(A, B)));
+    ++F.PC;
+  };
+  auto branchTo = [&](int64_t Target) {
+    const bool Backward = Target <= F.PC;
+    F.PC = static_cast<uint32_t>(Target);
+    // Taken backward branches are loop-backedge yieldpoints.
+    if (Backward)
+      maybeDeliverSample(T, /*AtPrologue=*/false);
+  };
+
+  switch (I.Op) {
+  case Opcode::Nop:
+  case Opcode::Work:
+    ++F.PC;
+    break;
+  case Opcode::IConst:
+    push(Value::makeInt(I.Operand));
+    ++F.PC;
+    break;
+  case Opcode::ConstNull:
+    push(Value::makeNull());
+    ++F.PC;
+    break;
+  case Opcode::LoadLocal:
+    assert(static_cast<size_t>(I.Operand) < F.Locals.size());
+    push(F.Locals[static_cast<size_t>(I.Operand)]);
+    ++F.PC;
+    break;
+  case Opcode::StoreLocal:
+    assert(static_cast<size_t>(I.Operand) < F.Locals.size());
+    F.Locals[static_cast<size_t>(I.Operand)] = popValue();
+    ++F.PC;
+    break;
+  case Opcode::Dup: {
+    assert(!F.Stack.empty());
+    push(F.Stack.back());
+    ++F.PC;
+    break;
+  }
+  case Opcode::Pop:
+    popValue();
+    ++F.PC;
+    break;
+  case Opcode::Swap: {
+    Value B = popValue();
+    Value A = popValue();
+    push(B);
+    push(A);
+    ++F.PC;
+    break;
+  }
+  // Arithmetic wraps modulo 2^64 (Java semantics); division by zero
+  // yields 0 and INT64_MIN / -1 wraps instead of trapping.
+  case Opcode::IAdd:
+    binaryInt([](int64_t A, int64_t B) {
+      return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                                  static_cast<uint64_t>(B));
+    });
+    break;
+  case Opcode::ISub:
+    binaryInt([](int64_t A, int64_t B) {
+      return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                                  static_cast<uint64_t>(B));
+    });
+    break;
+  case Opcode::IMul:
+    binaryInt([](int64_t A, int64_t B) {
+      return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                  static_cast<uint64_t>(B));
+    });
+    break;
+  case Opcode::IDiv:
+    binaryInt([](int64_t A, int64_t B) {
+      if (B == 0)
+        return static_cast<int64_t>(0);
+      if (A == INT64_MIN && B == -1)
+        return A;
+      return A / B;
+    });
+    break;
+  case Opcode::IRem:
+    binaryInt([](int64_t A, int64_t B) {
+      if (B == 0)
+        return static_cast<int64_t>(0);
+      if (A == INT64_MIN && B == -1)
+        return static_cast<int64_t>(0);
+      return A % B;
+    });
+    break;
+  case Opcode::IAnd:
+    binaryInt([](int64_t A, int64_t B) { return A & B; });
+    break;
+  case Opcode::IOr:
+    binaryInt([](int64_t A, int64_t B) { return A | B; });
+    break;
+  case Opcode::IXor:
+    binaryInt([](int64_t A, int64_t B) { return A ^ B; });
+    break;
+  case Opcode::IShl:
+    binaryInt([](int64_t A, int64_t B) {
+      return static_cast<int64_t>(static_cast<uint64_t>(A) << (B & 63));
+    });
+    break;
+  case Opcode::IShr:
+    binaryInt([](int64_t A, int64_t B) { return A >> (B & 63); });
+    break;
+  case Opcode::INeg: {
+    int64_t A = popInt();
+    push(Value::makeInt(
+        static_cast<int64_t>(0 - static_cast<uint64_t>(A))));
+    ++F.PC;
+    break;
+  }
+  case Opcode::ICmpEq: {
+    Value B = popValue();
+    Value A = popValue();
+    push(Value::makeInt(A.equals(B) ? 1 : 0));
+    ++F.PC;
+    break;
+  }
+  case Opcode::ICmpNe: {
+    Value B = popValue();
+    Value A = popValue();
+    push(Value::makeInt(A.equals(B) ? 0 : 1));
+    ++F.PC;
+    break;
+  }
+  case Opcode::ICmpLt:
+    binaryInt([](int64_t A, int64_t B) { return A < B ? 1 : 0; });
+    break;
+  case Opcode::ICmpLe:
+    binaryInt([](int64_t A, int64_t B) { return A <= B ? 1 : 0; });
+    break;
+  case Opcode::ICmpGt:
+    binaryInt([](int64_t A, int64_t B) { return A > B ? 1 : 0; });
+    break;
+  case Opcode::ICmpGe:
+    binaryInt([](int64_t A, int64_t B) { return A >= B ? 1 : 0; });
+    break;
+  case Opcode::Goto:
+    branchTo(I.Operand);
+    break;
+  case Opcode::IfZero: {
+    int64_t C = popInt();
+    if (C == 0)
+      branchTo(I.Operand);
+    else
+      ++F.PC;
+    break;
+  }
+  case Opcode::IfNonZero: {
+    int64_t C = popInt();
+    if (C != 0)
+      branchTo(I.Operand);
+    else
+      ++F.PC;
+    break;
+  }
+  case Opcode::IfNull: {
+    Value V = popValue();
+    if (V.isNull())
+      branchTo(I.Operand);
+    else
+      ++F.PC;
+    break;
+  }
+  case Opcode::IfNonNull: {
+    Value V = popValue();
+    if (!V.isNull())
+      branchTo(I.Operand);
+    else
+      ++F.PC;
+    break;
+  }
+  case Opcode::New: {
+    const Klass &K = P.klass(static_cast<ClassId>(I.Operand));
+    assert(K.isInstantiable() && "new of a non-instantiable class");
+    charge(Model.AllocBase + Model.AllocPerSlot * K.NumFields);
+    ++Counters.Allocations;
+    push(Value::makeRef(TheHeap.allocateObject(K.id(), K.NumFields)));
+    maybeCollectGarbage();
+    ++F.PC;
+    break;
+  }
+  case Opcode::GetField: {
+    Value R = popValue();
+    assert(R.isRef() && "getfield on non-reference");
+    HeapObject &Obj = TheHeap.object(R.asRef());
+    assert(static_cast<size_t>(I.Operand) < Obj.Slots.size());
+    push(Obj.Slots[static_cast<size_t>(I.Operand)]);
+    ++F.PC;
+    break;
+  }
+  case Opcode::PutField: {
+    Value V = popValue();
+    Value R = popValue();
+    assert(R.isRef() && "putfield on non-reference");
+    HeapObject &Obj = TheHeap.object(R.asRef());
+    assert(static_cast<size_t>(I.Operand) < Obj.Slots.size());
+    Obj.Slots[static_cast<size_t>(I.Operand)] = V;
+    ++F.PC;
+    break;
+  }
+  case Opcode::NewArray: {
+    int64_t Len = popInt();
+    if (Len < 0)
+      Len = 0;
+    charge(Model.AllocBase +
+           Model.AllocPerSlot * static_cast<uint64_t>(Len));
+    ++Counters.Allocations;
+    push(Value::makeRef(
+        TheHeap.allocateArray(static_cast<unsigned>(Len))));
+    maybeCollectGarbage();
+    ++F.PC;
+    break;
+  }
+  case Opcode::ArrayLoad: {
+    int64_t Index = popInt();
+    Value R = popValue();
+    assert(R.isRef() && "arrayload on non-reference");
+    HeapObject &Arr = TheHeap.object(R.asRef());
+    assert(Arr.IsArray && Index >= 0 &&
+           static_cast<size_t>(Index) < Arr.Slots.size());
+    push(Arr.Slots[static_cast<size_t>(Index)]);
+    ++F.PC;
+    break;
+  }
+  case Opcode::ArrayStore: {
+    Value V = popValue();
+    int64_t Index = popInt();
+    Value R = popValue();
+    assert(R.isRef() && "arraystore on non-reference");
+    HeapObject &Arr = TheHeap.object(R.asRef());
+    assert(Arr.IsArray && Index >= 0 &&
+           static_cast<size_t>(Index) < Arr.Slots.size());
+    Arr.Slots[static_cast<size_t>(Index)] = V;
+    ++F.PC;
+    break;
+  }
+  case Opcode::ArrayLength: {
+    Value R = popValue();
+    assert(R.isRef() && "arraylength on non-reference");
+    push(Value::makeInt(
+        static_cast<int64_t>(TheHeap.object(R.asRef()).Slots.size())));
+    ++F.PC;
+    break;
+  }
+  case Opcode::InstanceOf: {
+    Value R = popValue();
+    int64_t Result = 0;
+    if (R.isRef()) {
+      const HeapObject &Obj = TheHeap.object(R.asRef());
+      if (!Obj.IsArray)
+        Result = Hierarchy.isSubtypeOf(Obj.Klass,
+                                       static_cast<ClassId>(I.Operand))
+                     ? 1
+                     : 0;
+    }
+    push(Value::makeInt(Result));
+    ++F.PC;
+    break;
+  }
+  case Opcode::InvokeStatic:
+  case Opcode::InvokeVirtual:
+  case Opcode::InvokeInterface:
+  case Opcode::InvokeSpecial:
+    handleCall(T, I);
+    break;
+  case Opcode::Return:
+    handleReturn(T, /*HasValue=*/false);
+    break;
+  case Opcode::ValueReturn:
+    handleReturn(T, /*HasValue=*/true);
+    break;
+  }
+
+  return !T.Finished;
+}
+
+std::vector<const Frame *> aoci::sourceStack(const ThreadState &T) {
+  std::vector<const Frame *> Frames;
+  Frames.reserve(T.Frames.size());
+  for (auto It = T.Frames.rbegin(), E = T.Frames.rend(); It != E; ++It)
+    Frames.push_back(&*It);
+  return Frames;
+}
+
+std::vector<const Frame *> aoci::physicalStack(const ThreadState &T) {
+  std::vector<const Frame *> Frames;
+  for (auto It = T.Frames.rbegin(), E = T.Frames.rend(); It != E; ++It)
+    if (!It->Inlined)
+      Frames.push_back(&*It);
+  return Frames;
+}

@@ -1,0 +1,192 @@
+//===- vm/VirtualMachine.h - The simulated JVM -------------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The virtual machine substrate: a resumable explicit-frame interpreter
+/// with green threads, a cycle clock, yieldpoint-based timer sampling,
+/// lazy baseline compilation, inline-plan-aware call dispatch (guarded
+/// inlining with dynamic fallback), and a GC pause meter. See DESIGN.md
+/// for how this substitutes for Jikes RVM.
+///
+/// Frames are *source-level*: an inlined callee gets its own Frame marked
+/// Inlined=true, executing under the caller's physical code variant. The
+/// frame stack therefore directly provides the recovered source-level view
+/// of optimized stack frames that Section 3.3 requires; a "naive" walker
+/// that sees only physical frames is available for the ablation study.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_VM_VIRTUALMACHINE_H
+#define AOCI_VM_VIRTUALMACHINE_H
+
+#include "bytecode/ClassHierarchy.h"
+#include "support/Rng.h"
+#include "bytecode/Program.h"
+#include "vm/CodeManager.h"
+#include "vm/CostModel.h"
+#include "vm/Heap.h"
+#include "vm/Overhead.h"
+#include "vm/SampleSink.h"
+#include "vm/Value.h"
+
+#include <memory>
+#include <vector>
+
+namespace aoci {
+
+/// One source-level activation record.
+struct Frame {
+  /// The source method this frame executes.
+  MethodId Method = InvalidMethodId;
+  /// Program counter within the source method's body. While a callee is
+  /// active, the caller's PC stays at the invoke instruction, so a stack
+  /// walk reads call sites directly from caller PCs.
+  uint32_t PC = 0;
+  /// The physical code variant executing this frame. Inlined frames share
+  /// the enclosing physical frame's variant.
+  const CodeVariant *Variant = nullptr;
+  /// Active inline decisions for call sites in this body; null when the
+  /// body runs without an inline plan (baseline code, or nothing inlined).
+  const InlineNode *PlanNode = nullptr;
+  /// True when this source frame was inlined into the frame below it.
+  bool Inlined = false;
+  std::vector<Value> Locals;
+  std::vector<Value> Stack;
+};
+
+/// One green thread.
+struct ThreadState {
+  unsigned Id = 0;
+  std::vector<Frame> Frames;
+  bool Finished = false;
+  /// Entry method's return value when it returns one.
+  Value Result;
+};
+
+/// Execution counters exposed for tests and experiments.
+struct ExecutionCounters {
+  uint64_t InstructionsExecuted = 0;
+  uint64_t CallsExecuted = 0;     ///< Physical (non-inlined) calls.
+  uint64_t InlinedCallsEntered = 0;
+  uint64_t GuardTestsExecuted = 0;
+  uint64_t GuardFallbacks = 0;    ///< Call sites where every guard failed.
+  uint64_t Allocations = 0;
+  uint64_t GcPauses = 0;
+  uint64_t GcCycles = 0;
+  uint64_t SamplesTaken = 0;
+  uint64_t PrologueSamples = 0;
+};
+
+/// The virtual machine.
+class VirtualMachine {
+public:
+  /// \p P must outlive the VM and must verify cleanly (asserted in debug
+  /// builds).
+  explicit VirtualMachine(const Program &P, CostModel Model = CostModel());
+
+  /// Installs the adaptive system's sample receiver (may be null to run
+  /// without any profiling).
+  void setSampleSink(SampleSink *Sink) { this->Sink = Sink; }
+
+  /// Creates a green thread that will execute static no-arg method
+  /// \p Entry. Returns the thread id.
+  unsigned addThread(MethodId Entry);
+
+  /// Runs all threads round-robin until each finishes or the clock passes
+  /// \p CycleLimit.
+  void run(uint64_t CycleLimit = UINT64_MAX);
+
+  /// Executes at most \p MaxInstructions on thread \p T (for tests).
+  void step(ThreadState &T, uint64_t MaxInstructions);
+
+  //===--------------------------------------------------------------------===//
+  // Clock and accounting.
+  //===--------------------------------------------------------------------===//
+
+  uint64_t cycles() const { return Clock; }
+
+  /// Charges \p Cycles of adaptive-system work: advances the clock and the
+  /// per-component meter. Used by listeners, organizers, the controller
+  /// and the compilation thread.
+  void chargeAos(AosComponent C, uint64_t Cycles) {
+    Clock += Cycles;
+    Meter.charge(C, Cycles);
+  }
+
+  const OverheadMeter &overheadMeter() const { return Meter; }
+  const ExecutionCounters &counters() const { return Counters; }
+
+  //===--------------------------------------------------------------------===//
+  // Component access.
+  //===--------------------------------------------------------------------===//
+
+  const Program &program() const { return P; }
+  const ClassHierarchy &hierarchy() const { return Hierarchy; }
+  const CostModel &costModel() const { return Model; }
+  Heap &heap() { return TheHeap; }
+  CodeManager &codeManager() { return Code; }
+  const CodeManager &codeManager() const { return Code; }
+  const std::vector<std::unique_ptr<ThreadState>> &threads() const {
+    return Threads;
+  }
+
+  /// Ensures \p M has at least baseline code, charging the baseline
+  /// compiler's cycles on first touch (Jikes compiles lazily at first
+  /// invocation). Returns the current variant.
+  const CodeVariant *ensureCompiled(MethodId M);
+
+private:
+  bool stepInstruction(ThreadState &T);
+  void handleCall(ThreadState &T, const Instruction &I);
+  void handleReturn(ThreadState &T, bool HasValue);
+  void enterPhysicalFrame(ThreadState &T, MethodId Callee,
+                          const CodeVariant *Variant);
+  void enterInlinedFrame(ThreadState &T, const InlineCase &Case);
+  void popArgsInto(Frame &Caller, Frame &Callee, unsigned ArgSlots);
+  void charge(uint64_t Cycles) {
+    Clock += Cycles;
+  }
+  void chargeInstruction(const Frame &F, const Instruction &I);
+  void maybeDeliverSample(ThreadState &T, bool AtPrologue);
+  void maybeCollectGarbage();
+
+  const Program &P;
+  CostModel Model;
+  ClassHierarchy Hierarchy;
+  Heap TheHeap;
+  CodeManager Code;
+  OverheadMeter Meter;
+  ExecutionCounters Counters;
+  SampleSink *Sink = nullptr;
+  std::vector<std::unique_ptr<ThreadState>> Threads;
+  uint64_t Clock = 0;
+  uint64_t NextSampleAt;
+  /// Deterministic jitter for the sampling period. A perfectly periodic
+  /// timer aliases against fixed-cost loops (every sample lands at the
+  /// same loop phase, systematically hiding some call sites); real timer
+  /// interrupts are uncorrelated with loop phase, which is also why the
+  /// paper calls its sampling non-deterministic. Jitter restores the
+  /// uncorrelated behaviour while keeping runs bit-reproducible.
+  Rng SampleJitter;
+  uint64_t jitteredPeriod() {
+    const uint64_t Period = Model.SamplePeriodCycles;
+    return Period / 2 + SampleJitter.nextBelow(Period);
+  }
+};
+
+/// Walks \p T's stack and returns the source-level frames from innermost
+/// to outermost — the Section 3.3 "recovered" view. This is simply the
+/// frame stack reversed, since frames are already source-level.
+std::vector<const Frame *> sourceStack(const ThreadState &T);
+
+/// The naive walk of Section 3.3: only physical frames are visible, so
+/// traces skip inlined methods. Kept for the ablation experiment.
+std::vector<const Frame *> physicalStack(const ThreadState &T);
+
+} // namespace aoci
+
+#endif // AOCI_VM_VIRTUALMACHINE_H

@@ -1,0 +1,183 @@
+//===- workload/FigureOne.cpp - The paper's motivating example -------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/FigureOne.h"
+
+#include "bytecode/ProgramBuilder.h"
+#include "workload/WorkloadCommon.h"
+
+using namespace aoci;
+
+FigureOneProgram aoci::makeFigureOne(int64_t Iterations) {
+  FigureOneProgram F;
+  ProgramBuilder B;
+
+  //===--------------------------------------------------------------------===//
+  // Classes
+  //===--------------------------------------------------------------------===//
+
+  F.Object = B.addClass("Object");
+  F.ObjHashCode =
+      B.declareMethod(F.Object, "hashCode", MethodKind::Virtual, 0, true);
+  F.ObjEquals =
+      B.declareMethod(F.Object, "equals", MethodKind::Virtual, 1, true);
+
+  F.MyKey = B.addClass("MyKey", F.Object, /*NumFields=*/1);
+  F.MyKeyHashCode = B.addOverride(F.MyKey, F.ObjHashCode);
+  F.MyKeyEquals = B.addOverride(F.MyKey, F.ObjEquals);
+
+  F.IntegerK = B.addClass("Integer", F.Object, /*NumFields=*/1);
+  // Integer is final in Java; a final intValue can be bound without a
+  // guard (pre-existence stand-in).
+  F.IntValue = B.declareMethod(F.IntegerK, "intValue", MethodKind::Virtual, 0,
+                               true, /*IsFinal=*/true);
+
+  F.HashMapEntry =
+      B.addClass("HashMapEntry", F.Object, /*NumFields=*/3); // key,value,next
+  F.HashMap = B.addClass("HashMap", F.Object, /*NumFields=*/1); // elementData
+  F.MapInit =
+      B.declareMethod(F.HashMap, "<init>", MethodKind::Special, 1, false);
+  F.Put = B.declareMethod(F.HashMap, "put", MethodKind::Virtual, 2, false);
+  F.Get = B.declareMethod(F.HashMap, "get", MethodKind::Virtual, 1, true);
+
+  ClassId TestK = B.addClass("HashMapTest");
+  F.RunTest =
+      B.declareMethod(TestK, "runTest", MethodKind::Static, 3, true);
+  F.Main = B.declareMethod(TestK, "main", MethodKind::Static, 0, true);
+
+  //===--------------------------------------------------------------------===//
+  // Method bodies
+  //===--------------------------------------------------------------------===//
+
+  {
+    CodeEmitter E = B.code(F.ObjHashCode);
+    E.iconst(13).vreturn();
+    E.finish();
+  }
+  {
+    CodeEmitter E = B.code(F.MyKeyHashCode);
+    E.load(0).getField(0).vreturn();
+    E.finish();
+  }
+  {
+    CodeEmitter E = B.code(F.ObjEquals);
+    E.load(0).load(1).icmpEq().vreturn();
+    E.finish();
+  }
+  {
+    CodeEmitter E = B.code(F.MyKeyEquals);
+    auto NotKey = E.newLabel();
+    E.load(1).instanceOf(F.MyKey).ifZero(NotKey);
+    E.load(1).getField(0).load(0).getField(0).icmpEq().vreturn();
+    E.bind(NotKey);
+    E.iconst(0).vreturn();
+    E.finish();
+  }
+  {
+    CodeEmitter E = B.code(F.IntValue);
+    E.load(0).getField(0).vreturn();
+    E.finish();
+  }
+  {
+    // <init>(capacity): elementData = new Object[capacity]
+    CodeEmitter E = B.code(F.MapInit);
+    E.load(0).load(1).newArray().putField(0).ret();
+    E.finish();
+  }
+  {
+    // put(key, value): prepend a new entry to the bucket chain.
+    // Locals: 0=this 1=key 2=value 3=arr 4=index 5=entry
+    CodeEmitter E = B.code(F.Put);
+    E.load(0).getField(0).store(3);
+    E.load(1).invokeVirtual(F.ObjHashCode);
+    E.iconst(0x7FFF).iand();
+    E.load(3).arrayLength().irem().store(4);
+    E.newObject(F.HashMapEntry).store(5);
+    E.load(5).load(1).putField(0);
+    E.load(5).load(2).putField(1);
+    E.load(5).load(3).load(4).arrayLoad().putField(2);
+    E.load(3).load(4).load(5).arrayStore();
+    E.ret();
+    E.finish();
+  }
+  {
+    // get(key): simplified HashMap.get of Figure 1.
+    // Locals: 0=this 1=key 2=arr 3=index 4=entry
+    CodeEmitter E = B.code(F.Get);
+    auto Loop = E.newLabel();
+    auto Found = E.newLabel();
+    auto Miss = E.newLabel();
+    E.load(0).getField(0).store(2);
+    E.load(1);
+    F.HashCodeSite = E.nextIndex();
+    E.invokeVirtual(F.ObjHashCode);
+    E.iconst(0x7FFF).iand();
+    E.load(2).arrayLength().irem().store(3);
+    E.load(2).load(3).arrayLoad().store(4);
+    E.bind(Loop);
+    E.load(4).ifNull(Miss);
+    E.load(4).getField(0).load(1).icmpEq().ifNonZero(Found);
+    E.load(1).load(4).getField(0);
+    F.EqualsSite = E.nextIndex();
+    E.invokeVirtual(F.ObjEquals);
+    E.ifNonZero(Found);
+    E.load(4).getField(2).store(4);
+    E.jump(Loop);
+    E.bind(Found);
+    E.load(4).getField(1).vreturn();
+    E.bind(Miss);
+    E.constNull().vreturn();
+    E.finish();
+  }
+  {
+    // runTest(k1, k2, map): counter += map.get(k1).intValue()
+    //                       counter += map.get(k2).intValue()
+    CodeEmitter E = B.code(F.RunTest);
+    E.load(2).load(0);
+    F.GetSite1 = E.nextIndex();
+    E.invokeVirtual(F.Get);
+    E.invokeVirtual(F.IntValue);
+    E.store(3);
+    E.load(2).load(1);
+    F.GetSite2 = E.nextIndex();
+    E.invokeVirtual(F.Get);
+    E.invokeVirtual(F.IntValue);
+    E.load(3).iadd();
+    E.vreturn();
+    E.finish();
+  }
+  {
+    // main: set up k1/k2/map, then loop runTest accumulating its result.
+    // Locals: 0=k1 1=k2 2=map 3=loop 4=sum
+    CodeEmitter E = B.code(F.Main);
+    E.newObject(F.MyKey).store(0);
+    E.load(0).iconst(22).putField(0);
+    E.newObject(F.Object).store(1);
+    E.newObject(F.HashMap).store(2);
+    // Capacity 1 makes both keys share a bucket, so get(k1) probes past
+    // k2's entry and exercises the equals call exactly as the paper's
+    // text describes.
+    E.load(2).iconst(1).invokeSpecial(F.MapInit);
+    E.load(2).load(0);
+    E.newObject(F.IntegerK).dup().iconst(1).putField(0);
+    E.invokeVirtual(F.Put);
+    E.load(2).load(1);
+    E.newObject(F.IntegerK).dup().iconst(2).putField(0);
+    E.invokeVirtual(F.Put);
+    E.iconst(0).store(4);
+    emitCountedLoop(E, 3, Iterations, [&](CodeEmitter &L) {
+      L.load(0).load(1).load(2).invokeStatic(F.RunTest);
+      L.load(4).iadd().store(4);
+    });
+    E.load(4).vreturn();
+    E.finish();
+  }
+
+  B.setEntry(F.Main);
+  F.P = B.build();
+  return F;
+}

@@ -1,0 +1,63 @@
+//===- workload/FigureOne.h - The paper's motivating example ----*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HashMap program of Figure 1, transliterated to the AOCI bytecode
+/// ISA. main builds a hash table keyed once by a MyKey and once by a
+/// plain Object, then repeatedly calls runTest, whose first call site
+/// always reaches MyKey.hashCode through HashMap.get and whose second
+/// always reaches Object.hashCode. Context-insensitive edge profiling
+/// sees a 50/50 hashCode split at the single call site inside get
+/// (Figure 2b); one extra level of context splits it into two fully
+/// monomorphic contexts (Figure 2c).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_WORKLOAD_FIGUREONE_H
+#define AOCI_WORKLOAD_FIGUREONE_H
+
+#include "bytecode/Program.h"
+
+namespace aoci {
+
+/// The built program plus the landmarks tests and the quickstart example
+/// need to inspect profiles and plans.
+struct FigureOneProgram {
+  Program P;
+
+  ClassId Object = InvalidClassId;
+  ClassId MyKey = InvalidClassId;
+  ClassId IntegerK = InvalidClassId;
+  ClassId HashMapEntry = InvalidClassId;
+  ClassId HashMap = InvalidClassId;
+
+  MethodId ObjHashCode = InvalidMethodId;
+  MethodId MyKeyHashCode = InvalidMethodId;
+  MethodId ObjEquals = InvalidMethodId;
+  MethodId MyKeyEquals = InvalidMethodId;
+  MethodId IntValue = InvalidMethodId;
+  MethodId MapInit = InvalidMethodId;
+  MethodId Put = InvalidMethodId;
+  MethodId Get = InvalidMethodId;
+  MethodId RunTest = InvalidMethodId;
+  MethodId Main = InvalidMethodId;
+
+  /// Call sites of HashMap.get inside runTest (the paper's cs1/cs2).
+  BytecodeIndex GetSite1 = 0;
+  BytecodeIndex GetSite2 = 0;
+  /// The hashCode call site inside HashMap.get.
+  BytecodeIndex HashCodeSite = 0;
+  /// The equals call site inside HashMap.get's probe loop.
+  BytecodeIndex EqualsSite = 0;
+};
+
+/// Builds the Figure 1 program with \p Iterations runTest calls.
+FigureOneProgram makeFigureOne(int64_t Iterations = 60000);
+
+} // namespace aoci
+
+#endif // AOCI_WORKLOAD_FIGUREONE_H

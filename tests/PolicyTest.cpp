@@ -1,0 +1,226 @@
+//===- tests/PolicyTest.cpp - Unit tests for src/policy ---------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/ProgramBuilder.h"
+#include "bytecode/SizeClass.h"
+#include "policy/ContextPolicy.h"
+
+#include <gtest/gtest.h>
+
+using namespace aoci;
+
+namespace {
+
+/// Builds a program with one method of each "chain property":
+///  - ParamVirtual: virtual, 2 params, small
+///  - Paramless:    virtual, 0 params, small
+///  - StaticM:      static, 1 param, small
+///  - LargeM:       virtual, 1 param, large (>= 25x call size)
+struct ChainFixture {
+  Program P;
+  MethodId ParamVirtual, ParamVirtual2, Paramless, StaticM, LargeM;
+
+  ChainFixture() {
+    ProgramBuilder B;
+    ClassId C = B.addClass("C", InvalidClassId, 1);
+    auto makeBody = [&](MethodId M, unsigned WorkUnits) {
+      CodeEmitter E = B.code(M);
+      E.work(WorkUnits).iconst(1).vreturn();
+      E.finish();
+    };
+    ParamVirtual = B.declareMethod(C, "pv", MethodKind::Virtual, 2, true);
+    makeBody(ParamVirtual, 20);
+    ParamVirtual2 = B.declareMethod(C, "pv2", MethodKind::Virtual, 1, true);
+    makeBody(ParamVirtual2, 20);
+    Paramless = B.declareMethod(C, "pl", MethodKind::Virtual, 0, true);
+    makeBody(Paramless, 20);
+    StaticM = B.declareMethod(C, "st", MethodKind::Static, 1, true);
+    makeBody(StaticM, 20);
+    LargeM = B.declareMethod(C, "lg", MethodKind::Virtual, 1, true);
+    makeBody(LargeM, 25 * CallSequenceSize + 50);
+    MethodId Main = B.declareMethod(C, "main", MethodKind::Static, 0, false);
+    {
+      CodeEmitter E = B.code(Main);
+      E.ret();
+      E.finish();
+    }
+    B.setEntry(Main);
+    P = B.build();
+    EXPECT_EQ(classifyMethod(P.method(LargeM)), SizeClass::Large);
+  }
+};
+
+} // namespace
+
+TEST(PolicyTest, ContextInsensitiveIsDepthOne) {
+  ChainFixture F;
+  ContextInsensitivePolicy Policy;
+  EXPECT_EQ(Policy.maxDepth(), 1u);
+  std::vector<MethodId> Chain = {F.ParamVirtual, F.ParamVirtual2, F.StaticM,
+                                 F.ParamVirtual};
+  EXPECT_EQ(Policy.traceDepth(F.P, Chain, 0), 1u);
+  EXPECT_EQ(Policy.name(), "cins");
+}
+
+TEST(PolicyTest, FixedPolicyUsesFullDepth) {
+  ChainFixture F;
+  FixedPolicy Policy(3);
+  std::vector<MethodId> Chain = {F.ParamVirtual, F.ParamVirtual2,
+                                 F.ParamVirtual, F.ParamVirtual2,
+                                 F.ParamVirtual};
+  EXPECT_EQ(Policy.traceDepth(F.P, Chain, 0), 3u);
+  // Shallow stacks clamp to what is available.
+  std::vector<MethodId> Short = {F.ParamVirtual, F.ParamVirtual2};
+  EXPECT_EQ(Policy.traceDepth(F.P, Short, 0), 1u);
+}
+
+TEST(PolicyTest, ParameterlessStopsAtCallee) {
+  ChainFixture F;
+  ParameterlessPolicy Policy(5);
+  // Callee itself parameterless -> depth 1 ("immediately parameterless").
+  std::vector<MethodId> Chain = {F.Paramless, F.ParamVirtual,
+                                 F.ParamVirtual2, F.ParamVirtual,
+                                 F.ParamVirtual2, F.ParamVirtual};
+  EXPECT_EQ(Policy.traceDepth(F.P, Chain, 0), 1u);
+}
+
+TEST(PolicyTest, ParameterlessStopsMidChain) {
+  ChainFixture F;
+  ParameterlessPolicy Policy(5);
+  // First parameterless at chain index 3 -> depth 3.
+  std::vector<MethodId> Chain = {F.ParamVirtual, F.ParamVirtual2,
+                                 F.ParamVirtual, F.Paramless,
+                                 F.ParamVirtual2, F.ParamVirtual};
+  EXPECT_EQ(Policy.traceDepth(F.P, Chain, 0), 3u);
+}
+
+TEST(PolicyTest, ParameterlessNoStopRunsToMax) {
+  ChainFixture F;
+  ParameterlessPolicy Policy(4);
+  std::vector<MethodId> Chain = {F.ParamVirtual, F.ParamVirtual2,
+                                 F.ParamVirtual, F.ParamVirtual2,
+                                 F.ParamVirtual, F.ParamVirtual2};
+  EXPECT_EQ(Policy.traceDepth(F.P, Chain, 0), 4u);
+}
+
+TEST(PolicyTest, ClassMethodsStopsAtStatic) {
+  ChainFixture F;
+  ClassMethodsPolicy Policy(5);
+  // Static driver at chain index 2 -> depth 2 (the paper: "we only
+  // traverse two edges before encountering the first class method").
+  std::vector<MethodId> Chain = {F.ParamVirtual, F.ParamVirtual2, F.StaticM,
+                                 F.ParamVirtual, F.ParamVirtual2};
+  EXPECT_EQ(Policy.traceDepth(F.P, Chain, 0), 2u);
+}
+
+TEST(PolicyTest, LargeMethodsStopsAtLarge) {
+  ChainFixture F;
+  LargeMethodsPolicy Policy(5);
+  std::vector<MethodId> Chain = {F.ParamVirtual, F.ParamVirtual2,
+                                 F.ParamVirtual, F.LargeM, F.ParamVirtual2};
+  EXPECT_EQ(Policy.traceDepth(F.P, Chain, 0), 3u);
+  // Large callee still records the mandatory depth-1 edge.
+  std::vector<MethodId> LargeCallee = {F.LargeM, F.ParamVirtual,
+                                       F.ParamVirtual2};
+  EXPECT_EQ(Policy.traceDepth(F.P, LargeCallee, 0), 1u);
+}
+
+TEST(PolicyTest, HybridStopsAtEitherCondition) {
+  ChainFixture F;
+  HybridParamClassPolicy H1(5);
+  HybridParamLargePolicy H2(5);
+  std::vector<MethodId> StaticChain = {F.ParamVirtual, F.StaticM,
+                                       F.ParamVirtual2, F.ParamVirtual,
+                                       F.ParamVirtual2};
+  std::vector<MethodId> ParamlessChain = {F.ParamVirtual, F.Paramless,
+                                          F.ParamVirtual2, F.ParamVirtual,
+                                          F.ParamVirtual2};
+  std::vector<MethodId> LargeChain = {F.ParamVirtual, F.LargeM,
+                                      F.ParamVirtual2, F.ParamVirtual,
+                                      F.ParamVirtual2};
+  EXPECT_EQ(H1.traceDepth(F.P, StaticChain, 0), 1u);
+  EXPECT_EQ(H1.traceDepth(F.P, ParamlessChain, 0), 1u);
+  EXPECT_EQ(H1.traceDepth(F.P, LargeChain, 0), 4u)
+      << "hybrid1 ignores large methods";
+  EXPECT_EQ(H2.traceDepth(F.P, LargeChain, 0), 1u);
+  EXPECT_EQ(H2.traceDepth(F.P, StaticChain, 0), 4u)
+      << "hybrid2 ignores class methods";
+}
+
+TEST(PolicyTest, FactoryProducesAllKindsWithNames) {
+  for (PolicyKind K : allPolicyKinds()) {
+    auto Policy = makePolicy(K, 4);
+    ASSERT_NE(Policy, nullptr);
+    EXPECT_FALSE(Policy->name().empty());
+    if (K == PolicyKind::ContextInsensitive)
+      EXPECT_EQ(Policy->maxDepth(), 1u);
+    else
+      EXPECT_EQ(Policy->maxDepth(), 4u);
+    // Only the imprecision policy exposes a table.
+    EXPECT_EQ(Policy->imprecisionTable() != nullptr,
+              K == PolicyKind::AdaptiveImprecision);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ImprecisionTable
+//===----------------------------------------------------------------------===//
+
+TEST(ImprecisionTableTest, DefaultsToDepthOne) {
+  ImprecisionTable T;
+  EXPECT_EQ(T.depthFor(3, 7), 1u);
+  EXPECT_FALSE(T.gaveUp(3, 7));
+  EXPECT_FALSE(T.isResolved(3, 7));
+}
+
+TEST(ImprecisionTableTest, RaiseClimbsTowardMax) {
+  ImprecisionTable T;
+  EXPECT_EQ(T.raise(3, 7, /*MaxDepth=*/4, /*GiveUpAfter=*/10), 2u);
+  EXPECT_EQ(T.raise(3, 7, 4, 10), 3u);
+  EXPECT_EQ(T.raise(3, 7, 4, 10), 4u);
+  // At max depth and still unresolved: the site is abandoned.
+  EXPECT_EQ(T.raise(3, 7, 4, 10), 1u);
+  EXPECT_TRUE(T.gaveUp(3, 7));
+  EXPECT_EQ(T.depthFor(3, 7), 1u);
+}
+
+TEST(ImprecisionTableTest, GiveUpAfterBoundsRaises) {
+  ImprecisionTable T;
+  T.raise(1, 1, /*MaxDepth=*/10, /*GiveUpAfter=*/2);
+  T.raise(1, 1, 10, 2);
+  EXPECT_EQ(T.raise(1, 1, 10, 2), 1u) << "third raise gives up";
+  EXPECT_TRUE(T.gaveUp(1, 1));
+}
+
+TEST(ImprecisionTableTest, ResolvedFreezesDepth) {
+  ImprecisionTable T;
+  T.raise(5, 2, 4, 10);
+  T.raise(5, 2, 4, 10);
+  T.markResolved(5, 2);
+  EXPECT_TRUE(T.isResolved(5, 2));
+  EXPECT_EQ(T.depthFor(5, 2), 3u);
+  // Further raises are ignored once resolved.
+  EXPECT_EQ(T.raise(5, 2, 4, 10), 3u);
+  EXPECT_EQ(T.depthFor(5, 2), 3u);
+}
+
+TEST(ImprecisionTableTest, PolicyConsultsTable) {
+  ChainFixture F;
+  auto Table = std::make_shared<ImprecisionTable>();
+  AdaptiveImprecisionPolicy Policy(5, Table);
+  std::vector<MethodId> Chain = {F.ParamVirtual, F.ParamVirtual2,
+                                 F.ParamVirtual, F.ParamVirtual2,
+                                 F.ParamVirtual, F.ParamVirtual2};
+  // Default: context-insensitive.
+  EXPECT_EQ(Policy.traceDepth(F.P, Chain, /*InnermostSite=*/9), 1u);
+  // After the organizer raises the site, the walk goes deeper.
+  Table->raise(F.ParamVirtual2, 9, 5, 10);
+  Table->raise(F.ParamVirtual2, 9, 5, 10);
+  EXPECT_EQ(Policy.traceDepth(F.P, Chain, 9), 3u);
+  // Other sites remain at depth 1.
+  EXPECT_EQ(Policy.traceDepth(F.P, Chain, 10), 1u);
+}

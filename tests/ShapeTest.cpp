@@ -1,0 +1,97 @@
+//===- tests/ShapeTest.cpp - Paper-shape regression tests -------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+// Coarse regression tests pinning each benchmark's paper personality at
+// full scale (margins are deliberately generous — these guard the
+// direction of the effects, not their magnitude):
+//
+//  - compress is indifferent to context sensitivity (monomorphic);
+//  - db gains performance from context (the comparator site);
+//  - jess does not lose performance and does not bloat;
+//  - overall AOS overhead stays small (Figure 6's premise).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <gtest/gtest.h>
+
+using namespace aoci;
+
+namespace {
+
+RunResult run(const std::string &Workload, PolicyKind Policy,
+              unsigned Depth) {
+  RunConfig Config;
+  Config.WorkloadName = Workload;
+  Config.Policy = Policy;
+  Config.MaxDepth = Depth;
+  return runExperiment(Config);
+}
+
+double speedup(const RunResult &Base, const RunResult &Cell) {
+  return (static_cast<double>(Base.WallCycles) /
+              static_cast<double>(Cell.WallCycles) -
+          1.0) *
+         100.0;
+}
+
+} // namespace
+
+TEST(ShapeTest, CompressIsIndifferentToContext) {
+  RunResult Base = run("compress", PolicyKind::ContextInsensitive, 1);
+  RunResult Ctx = run("compress", PolicyKind::Fixed, 4);
+  EXPECT_NEAR(speedup(Base, Ctx), 0.0, 3.0)
+      << "compress is monomorphic; context must not matter";
+}
+
+TEST(ShapeTest, DbGainsPerformanceFromContext) {
+  RunResult Base = run("db", PolicyKind::ContextInsensitive, 1);
+  RunResult Ctx = run("db", PolicyKind::Fixed, 3);
+  EXPECT_GT(speedup(Base, Ctx), 2.0)
+      << "context unlocks comparator inlining in db";
+}
+
+TEST(ShapeTest, JessDoesNotRegress) {
+  RunResult Base = run("jess", PolicyKind::ContextInsensitive, 1);
+  RunResult Ctx = run("jess", PolicyKind::HybridParamClass, 4);
+  EXPECT_GT(speedup(Base, Ctx), -2.0);
+  EXPECT_LT(static_cast<double>(Ctx.OptBytesResident),
+            static_cast<double>(Base.OptBytesResident) * 1.10)
+      << "jess must not bloat under context sensitivity";
+}
+
+TEST(ShapeTest, AosOverheadStaysSmall) {
+  for (PolicyKind Kind :
+       {PolicyKind::ContextInsensitive, PolicyKind::Fixed}) {
+    RunResult R = run("jack", Kind, 4);
+    double Total = 0;
+    for (unsigned C = 0; C != NumAosComponents; ++C)
+      Total += R.componentFraction(static_cast<AosComponent>(C));
+    EXPECT_LT(Total, 0.06)
+        << "AOS components must stay a few percent of execution";
+    // The trace listener itself is a vanishing fraction (the paper's
+    // 0.06% claim; we allow an order of magnitude of slack).
+    EXPECT_LT(R.componentFraction(AosComponent::Listeners), 0.006);
+  }
+}
+
+TEST(ShapeTest, ParameterlessPolicyShortensTraces) {
+  // jack's parameterless lexer must pull mean recorded depth down
+  // relative to the fixed policy at the same cap.
+  RunConfig Fixed;
+  Fixed.WorkloadName = "jack";
+  Fixed.Policy = PolicyKind::Fixed;
+  Fixed.MaxDepth = 5;
+  Fixed.CollectTraceStats = true;
+  RunConfig Param = Fixed;
+  Param.Policy = PolicyKind::Parameterless;
+  RunResult FixedR = runExperiment(Fixed);
+  RunResult ParamR = runExperiment(Param);
+  ASSERT_GT(FixedR.TraceStats.numSamples(), 0u);
+  ASSERT_GT(ParamR.TraceStats.numSamples(), 0u);
+  EXPECT_LT(ParamR.TraceStats.meanRecordedDepth(),
+            FixedR.TraceStats.meanRecordedDepth());
+}

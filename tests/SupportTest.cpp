@@ -1,0 +1,226 @@
+//===- tests/SupportTest.cpp - Unit tests for src/support ------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace aoci;
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Differences = 0;
+  for (int I = 0; I != 100; ++I)
+    if (A.next() != B.next())
+      ++Differences;
+  EXPECT_GT(Differences, 90);
+}
+
+TEST(RngTest, ZeroSeedIsRemapped) {
+  Rng A(0);
+  // Must not be stuck at zero.
+  EXPECT_NE(A.next() | A.next() | A.next(), 0u);
+}
+
+TEST(RngTest, NextBelowStaysInBounds) {
+  Rng R(7);
+  for (uint64_t Bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int I = 0; I != 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(RngTest, NextBelowCoversSmallRange) {
+  Rng R(99);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 200; ++I)
+    Seen.insert(R.nextBelow(4));
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(5);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(11);
+  for (int I = 0; I != 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng R(13);
+  int True50 = 0;
+  for (int I = 0; I != 10000; ++I)
+    True50 += R.nextBool(0.5);
+  EXPECT_NEAR(True50, 5000, 300);
+
+  int TrueAlways = 0, TrueNever = 0;
+  for (int I = 0; I != 100; ++I) {
+    TrueAlways += R.nextBool(1.0);
+    TrueNever += R.nextBool(0.0);
+  }
+  EXPECT_EQ(TrueAlways, 100);
+  EXPECT_EQ(TrueNever, 0);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng R(17);
+  uint64_t First = R.next();
+  R.next();
+  R.reseed(17);
+  EXPECT_EQ(R.next(), First);
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(StatisticsTest, ArithmeticMean) {
+  EXPECT_DOUBLE_EQ(arithmeticMean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(arithmeticMean({}), 0);
+}
+
+TEST(StatisticsTest, GeometricMean) {
+  EXPECT_NEAR(geometricMean({1, 4}), 2.0, 1e-12);
+  EXPECT_NEAR(geometricMean({2, 2, 2}), 2.0, 1e-12);
+}
+
+TEST(StatisticsTest, HarmonicMean) {
+  EXPECT_NEAR(harmonicMean({1, 1, 1}), 1.0, 1e-12);
+  // Classic: harmonic mean of 2 and 6 is 3.
+  EXPECT_NEAR(harmonicMean({2, 6}), 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(harmonicMean({}), 0);
+}
+
+TEST(StatisticsTest, MeanOrderingInequality) {
+  std::vector<double> V = {1, 2, 3, 9, 27};
+  EXPECT_LE(harmonicMean(V), geometricMean(V) + 1e-12);
+  EXPECT_LE(geometricMean(V), arithmeticMean(V) + 1e-12);
+}
+
+TEST(StatisticsTest, HarmonicMeanOfPercentagesIdentity) {
+  EXPECT_NEAR(harmonicMeanOfPercentages({5.0, 5.0, 5.0}), 5.0, 1e-9);
+  EXPECT_NEAR(harmonicMeanOfPercentages({0.0, 0.0}), 0.0, 1e-9);
+}
+
+TEST(StatisticsTest, PercentChange) {
+  EXPECT_DOUBLE_EQ(percentChange(100, 110), 10.0);
+  EXPECT_DOUBLE_EQ(percentChange(100, 90), -10.0);
+  EXPECT_DOUBLE_EQ(percentChange(0, 5), 0.0);
+}
+
+TEST(StatisticsTest, SpeedupPercent) {
+  // Candidate twice as fast: +100%.
+  EXPECT_DOUBLE_EQ(speedupPercent(200, 100), 100.0);
+  // Candidate slower: negative.
+  EXPECT_LT(speedupPercent(100, 200), 0.0);
+}
+
+TEST(StatisticsTest, RunningStat) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  S.add(3);
+  S.add(-1);
+  S.add(10);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.min(), -1);
+  EXPECT_DOUBLE_EQ(S.max(), 10);
+  EXPECT_DOUBLE_EQ(S.mean(), 4);
+  EXPECT_DOUBLE_EQ(S.sum(), 12);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, CountsAndTotal) {
+  Histogram H;
+  H.add(0);
+  H.add(2, 3);
+  H.add(2);
+  EXPECT_EQ(H.count(0), 1u);
+  EXPECT_EQ(H.count(1), 0u);
+  EXPECT_EQ(H.count(2), 4u);
+  EXPECT_EQ(H.count(99), 0u);
+  EXPECT_EQ(H.total(), 5u);
+  EXPECT_EQ(H.numBuckets(), 3u);
+}
+
+TEST(HistogramTest, CumulativeFraction) {
+  Histogram H;
+  H.add(1, 2);
+  H.add(5, 2);
+  EXPECT_DOUBLE_EQ(H.cumulativeFractionAtOrBelow(0), 0.0);
+  EXPECT_DOUBLE_EQ(H.cumulativeFractionAtOrBelow(1), 0.5);
+  EXPECT_DOUBLE_EQ(H.cumulativeFractionAtOrBelow(4), 0.5);
+  EXPECT_DOUBLE_EQ(H.cumulativeFractionAtOrBelow(5), 1.0);
+  EXPECT_DOUBLE_EQ(H.fractionAt(5), 0.5);
+}
+
+TEST(HistogramTest, EmptyAndClear) {
+  Histogram H;
+  EXPECT_DOUBLE_EQ(H.cumulativeFractionAtOrBelow(10), 0.0);
+  H.add(3);
+  H.clear();
+  EXPECT_EQ(H.total(), 0u);
+  EXPECT_EQ(H.count(3), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtilsTest, FormatString) {
+  EXPECT_EQ(formatString("x=%d y=%s", 5, "ok"), "x=5 y=ok");
+  EXPECT_EQ(formatString("%s", ""), "");
+  // Long output forces the allocation path.
+  std::string Long = formatString("%0500d", 7);
+  EXPECT_EQ(Long.size(), 500u);
+}
+
+TEST(StringUtilsTest, FormatPercent) {
+  EXPECT_EQ(formatPercent(5.25), "+5.2%");
+  EXPECT_EQ(formatPercent(-4.2), "-4.2%");
+  EXPECT_EQ(formatPercent(0), "+0.0%");
+}
+
+TEST(StringUtilsTest, RenderTableAlignsColumns) {
+  std::string Out = renderTable({"name", "v"}, {{"a", "1"}, {"long", "22"}});
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 4);
+  EXPECT_NE(Out.find("long"), std::string::npos);
+  EXPECT_NE(Out.find("22"), std::string::npos);
+}

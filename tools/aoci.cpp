@@ -1,0 +1,366 @@
+//===- tools/aoci.cpp - The AOCI command-line driver ------------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+// A single driver over the whole library:
+//
+//   aoci list
+//   aoci table1
+//   aoci run <workload> [--policy P] [--depth N] [--scale X] [--seed N]
+//            [--plans] [--trace-stats] [--save-profile F] [--load-profile F]
+//   aoci grid [--workloads a,b] [--policies p,q] [--depths 2,3]
+//             [--scale X] [--trials N] [--csv FILE]
+//             [--report fig4|fig5|fig6|compile|summary|all]
+//   aoci disasm <workload> [method-qualified-name]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Disassembler.h"
+#include "harness/CsvExport.h"
+#include "harness/Experiment.h"
+#include "harness/Reporters.h"
+#include "opt/PlanPrinter.h"
+#include "profile/ProfileIo.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace aoci;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  aoci list\n"
+      "  aoci table1\n"
+      "  aoci run <workload> [--policy P] [--depth N] [--scale X]\n"
+      "           [--seed N] [--plans] [--trace-stats]\n"
+      "           [--save-profile FILE] [--load-profile FILE]\n"
+      "  aoci grid [--workloads a,b] [--policies p,q] [--depths 2,3]\n"
+      "            [--scale X] [--trials N] [--csv FILE]\n"
+      "            [--report fig4|fig5|fig6|compile|summary|all]\n"
+      "  aoci disasm <workload> [method]\n"
+      "policies: cins fixed paramLess class large hybrid1 hybrid2 "
+      "imprecision\n");
+  return 1;
+}
+
+bool parsePolicy(const std::string &Name, PolicyKind &Kind) {
+  for (PolicyKind K : allPolicyKinds())
+    if (Name == policyKindName(K)) {
+      Kind = K;
+      return true;
+    }
+  return false;
+}
+
+std::vector<std::string> splitList(const std::string &Text) {
+  std::vector<std::string> Out;
+  std::stringstream In(Text);
+  std::string Item;
+  while (std::getline(In, Item, ','))
+    if (!Item.empty())
+      Out.push_back(Item);
+  return Out;
+}
+
+/// Simple flag cursor over argv.
+struct Args {
+  int Argc;
+  char **Argv;
+  int Pos = 2;
+
+  /// Returns the value of --Flag when present at the cursor.
+  bool flag(const char *Flag, std::string &Value) {
+    if (Pos + 1 < Argc && std::strcmp(Argv[Pos], Flag) == 0) {
+      Value = Argv[Pos + 1];
+      Pos += 2;
+      return true;
+    }
+    return false;
+  }
+
+  bool boolFlag(const char *Flag) {
+    if (Pos < Argc && std::strcmp(Argv[Pos], Flag) == 0) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool done() const { return Pos >= Argc; }
+};
+
+int cmdList() {
+  for (const std::string &Name : workloadNames()) {
+    Workload W = makeWorkload(Name, WorkloadParams{1, 0.01});
+    std::printf("%-12s %s\n", Name.c_str(), W.Description.c_str());
+  }
+  return 0;
+}
+
+int cmdTable1() {
+  std::vector<RunResult> Runs;
+  for (const std::string &Name : workloadNames()) {
+    RunConfig Config;
+    Config.WorkloadName = Name;
+    Runs.push_back(runExperiment(Config));
+  }
+  std::printf("%s", reportTable1(Runs).c_str());
+  return 0;
+}
+
+int cmdRun(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  std::string WorkloadName = Argv[2];
+  bool Known = false;
+  for (const std::string &Name : workloadNames())
+    Known |= Name == WorkloadName;
+  if (!Known) {
+    std::fprintf(stderr, "unknown workload '%s'\n", WorkloadName.c_str());
+    return 1;
+  }
+
+  PolicyKind Kind = PolicyKind::ContextInsensitive;
+  unsigned Depth = 1;
+  WorkloadParams Params;
+  bool ShowPlans = false, TraceStats = false;
+  std::string SaveProfile, LoadProfile;
+
+  Args A{Argc, Argv};
+  A.Pos = 3;
+  while (!A.done()) {
+    std::string Value;
+    if (A.flag("--policy", Value)) {
+      if (!parsePolicy(Value, Kind)) {
+        std::fprintf(stderr, "unknown policy '%s'\n", Value.c_str());
+        return 1;
+      }
+      if (Depth == 1 && Kind != PolicyKind::ContextInsensitive)
+        Depth = 4;
+    } else if (A.flag("--depth", Value)) {
+      Depth = static_cast<unsigned>(std::atoi(Value.c_str()));
+    } else if (A.flag("--scale", Value)) {
+      Params.Scale = std::atof(Value.c_str());
+    } else if (A.flag("--seed", Value)) {
+      Params.Seed = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (A.flag("--save-profile", Value)) {
+      SaveProfile = Value;
+    } else if (A.flag("--load-profile", Value)) {
+      LoadProfile = Value;
+    } else if (A.boolFlag("--plans")) {
+      ShowPlans = true;
+    } else if (A.boolFlag("--trace-stats")) {
+      TraceStats = true;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Argv[A.Pos]);
+      return usage();
+    }
+  }
+
+  Workload W = makeWorkload(WorkloadName, Params);
+  VirtualMachine VM(W.Prog);
+  std::unique_ptr<ContextPolicy> Policy = makePolicy(Kind, Depth);
+  AdaptiveSystem Aos(VM, *Policy);
+  if (TraceStats)
+    Aos.traceListener().enableStatistics();
+  if (!LoadProfile.empty()) {
+    std::ifstream In(LoadProfile);
+    if (!In) {
+      std::fprintf(stderr, "cannot read '%s'\n", LoadProfile.c_str());
+      return 1;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    DynamicCallGraph Training;
+    std::string Error;
+    if (!deserializeProfile(W.Prog, Buffer.str(), Training, Error)) {
+      std::fprintf(stderr, "profile parse error: %s\n", Error.c_str());
+      return 1;
+    }
+    Aos.seedProfile(Training);
+    std::printf("seeded %zu training traces\n", Training.numTraces());
+  }
+  Aos.attach();
+  for (MethodId Entry : W.Entries)
+    VM.addThread(Entry);
+  VM.run();
+
+  std::printf("workload       %s (policy %s)\n", W.Name.c_str(),
+              Policy->name().c_str());
+  std::printf("wall cycles    %llu\n",
+              static_cast<unsigned long long>(VM.cycles()));
+  std::printf("result         %lld\n",
+              static_cast<long long>(
+                  VM.threads().front()->Result.asInt()));
+  std::printf("samples        %llu\n",
+              static_cast<unsigned long long>(
+                  VM.counters().SamplesTaken));
+  std::printf("opt compiles   %llu (%llu cycles)\n",
+              static_cast<unsigned long long>(Aos.stats().OptCompilations),
+              static_cast<unsigned long long>(
+                  VM.codeManager().optCompileCycles()));
+  std::printf("opt code bytes %llu resident / %llu generated\n",
+              static_cast<unsigned long long>(
+                  VM.codeManager().optimizedBytesResident()),
+              static_cast<unsigned long long>(
+                  VM.codeManager().optimizedBytesGenerated()));
+  std::printf("inlined calls  %llu (guard fallbacks %llu)\n",
+              static_cast<unsigned long long>(
+                  VM.counters().InlinedCallsEntered),
+              static_cast<unsigned long long>(
+                  VM.counters().GuardFallbacks));
+  for (unsigned C = 0; C != NumAosComponents; ++C)
+    std::printf("aos %-21s %8.4f%%\n",
+                aosComponentName(static_cast<AosComponent>(C)),
+                100.0 *
+                    static_cast<double>(VM.overheadMeter().cycles(
+                        static_cast<AosComponent>(C))) /
+                    static_cast<double>(VM.cycles()));
+
+  if (TraceStats) {
+    const TraceStatistics &S = Aos.traceListener().statistics();
+    std::printf("trace stats    %llu samples, %.0f%% parameterless "
+                "callees, mean depth %.2f\n",
+                static_cast<unsigned long long>(S.numSamples()),
+                S.calleeParameterlessFraction() * 100,
+                S.meanRecordedDepth());
+  }
+
+  if (ShowPlans) {
+    std::printf("\ninstalled optimized code:\n");
+    for (const auto &V : VM.codeManager().allVariants())
+      if (V->Level != OptLevel::Baseline &&
+          VM.codeManager().current(V->M) == V.get())
+        std::printf("%s", describeVariant(W.Prog, *V).c_str());
+  }
+
+  if (!SaveProfile.empty()) {
+    std::ofstream Out(SaveProfile);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", SaveProfile.c_str());
+      return 1;
+    }
+    Out << serializeProfile(W.Prog, Aos.dcg());
+    std::printf("profile saved to %s\n", SaveProfile.c_str());
+  }
+  return 0;
+}
+
+int cmdGrid(int Argc, char **Argv) {
+  GridConfig Config;
+  std::string Report = "all";
+  std::string Csv;
+
+  Args A{Argc, Argv};
+  while (!A.done()) {
+    std::string Value;
+    if (A.flag("--workloads", Value)) {
+      Config.Workloads = splitList(Value);
+    } else if (A.flag("--policies", Value)) {
+      Config.Policies.clear();
+      for (const std::string &Name : splitList(Value)) {
+        PolicyKind Kind;
+        if (!parsePolicy(Name, Kind)) {
+          std::fprintf(stderr, "unknown policy '%s'\n", Name.c_str());
+          return 1;
+        }
+        Config.Policies.push_back(Kind);
+      }
+    } else if (A.flag("--depths", Value)) {
+      Config.Depths.clear();
+      for (const std::string &D : splitList(Value))
+        Config.Depths.push_back(
+            static_cast<unsigned>(std::atoi(D.c_str())));
+    } else if (A.flag("--scale", Value)) {
+      Config.Params.Scale = std::atof(Value.c_str());
+    } else if (A.flag("--trials", Value)) {
+      Config.Trials = static_cast<unsigned>(std::atoi(Value.c_str()));
+    } else if (A.flag("--csv", Value)) {
+      Csv = Value;
+    } else if (A.flag("--report", Value)) {
+      Report = Value;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Argv[A.Pos]);
+      return usage();
+    }
+  }
+
+  GridResults Results = runGrid(Config, [](const std::string &Line) {
+    std::fprintf(stderr, "%s\n", Line.c_str());
+  });
+  if (Report == "fig4" || Report == "all")
+    std::printf("%s\n",
+                reportFigure4(Results, Config.Policies, Config.Depths)
+                    .c_str());
+  if (Report == "fig5" || Report == "all")
+    std::printf("%s\n",
+                reportFigure5(Results, Config.Policies, Config.Depths)
+                    .c_str());
+  if (Report == "compile" || Report == "all")
+    std::printf("%s\n",
+                reportCompileTime(Results, Config.Policies, Config.Depths)
+                    .c_str());
+  if (Report == "fig6" || Report == "all")
+    std::printf("%s\n",
+                reportFigure6(Results, Config.Policies, Config.Depths)
+                    .c_str());
+  if (Report == "summary" || Report == "all")
+    std::printf("%s\n",
+                reportSummary(Results, Config.Policies, Config.Depths)
+                    .c_str());
+  if (!Csv.empty()) {
+    std::ofstream Out(Csv);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", Csv.c_str());
+      return 1;
+    }
+    Out << exportCsv(Results, Config.Policies, Config.Depths);
+    std::fprintf(stderr, "csv written to %s\n", Csv.c_str());
+  }
+  return 0;
+}
+
+int cmdDisasm(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  Workload W = makeWorkload(Argv[2], WorkloadParams{1, 0.01});
+  if (Argc >= 4) {
+    MethodId M = W.Prog.findMethod(Argv[3]);
+    if (M == InvalidMethodId) {
+      std::fprintf(stderr, "no method '%s' in %s\n", Argv[3], Argv[2]);
+      return 1;
+    }
+    std::printf("%s", disassembleMethod(W.Prog, M).c_str());
+    return 0;
+  }
+  std::printf("%s", disassembleProgram(W.Prog).c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  const std::string Command = Argv[1];
+  if (Command == "list")
+    return cmdList();
+  if (Command == "table1")
+    return cmdTable1();
+  if (Command == "run")
+    return cmdRun(Argc, Argv);
+  if (Command == "grid")
+    return cmdGrid(Argc, Argv);
+  if (Command == "disasm")
+    return cmdDisasm(Argc, Argv);
+  return usage();
+}
