@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_codesize.dir/fig5_codesize.cpp.o"
+  "CMakeFiles/fig5_codesize.dir/fig5_codesize.cpp.o.d"
+  "fig5_codesize"
+  "fig5_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

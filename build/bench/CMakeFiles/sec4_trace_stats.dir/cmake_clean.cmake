@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_trace_stats.dir/sec4_trace_stats.cpp.o"
+  "CMakeFiles/sec4_trace_stats.dir/sec4_trace_stats.cpp.o.d"
+  "sec4_trace_stats"
+  "sec4_trace_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_trace_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_shift.dir/phase_shift.cpp.o"
+  "CMakeFiles/phase_shift.dir/phase_shift.cpp.o.d"
+  "phase_shift"
+  "phase_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

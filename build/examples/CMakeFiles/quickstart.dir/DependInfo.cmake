@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aoci_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/aoci_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aoci_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/aoci_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/aoci_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/aoci_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/aoci_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/aoci_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aoci_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

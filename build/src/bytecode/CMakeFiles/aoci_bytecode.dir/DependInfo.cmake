@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/ClassHierarchy.cpp" "src/bytecode/CMakeFiles/aoci_bytecode.dir/ClassHierarchy.cpp.o" "gcc" "src/bytecode/CMakeFiles/aoci_bytecode.dir/ClassHierarchy.cpp.o.d"
+  "/root/repo/src/bytecode/Disassembler.cpp" "src/bytecode/CMakeFiles/aoci_bytecode.dir/Disassembler.cpp.o" "gcc" "src/bytecode/CMakeFiles/aoci_bytecode.dir/Disassembler.cpp.o.d"
+  "/root/repo/src/bytecode/Method.cpp" "src/bytecode/CMakeFiles/aoci_bytecode.dir/Method.cpp.o" "gcc" "src/bytecode/CMakeFiles/aoci_bytecode.dir/Method.cpp.o.d"
+  "/root/repo/src/bytecode/Opcode.cpp" "src/bytecode/CMakeFiles/aoci_bytecode.dir/Opcode.cpp.o" "gcc" "src/bytecode/CMakeFiles/aoci_bytecode.dir/Opcode.cpp.o.d"
+  "/root/repo/src/bytecode/Program.cpp" "src/bytecode/CMakeFiles/aoci_bytecode.dir/Program.cpp.o" "gcc" "src/bytecode/CMakeFiles/aoci_bytecode.dir/Program.cpp.o.d"
+  "/root/repo/src/bytecode/ProgramBuilder.cpp" "src/bytecode/CMakeFiles/aoci_bytecode.dir/ProgramBuilder.cpp.o" "gcc" "src/bytecode/CMakeFiles/aoci_bytecode.dir/ProgramBuilder.cpp.o.d"
+  "/root/repo/src/bytecode/Verifier.cpp" "src/bytecode/CMakeFiles/aoci_bytecode.dir/Verifier.cpp.o" "gcc" "src/bytecode/CMakeFiles/aoci_bytecode.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/aoci_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aoci_bytecode.dir/ClassHierarchy.cpp.o"
+  "CMakeFiles/aoci_bytecode.dir/ClassHierarchy.cpp.o.d"
+  "CMakeFiles/aoci_bytecode.dir/Disassembler.cpp.o"
+  "CMakeFiles/aoci_bytecode.dir/Disassembler.cpp.o.d"
+  "CMakeFiles/aoci_bytecode.dir/Method.cpp.o"
+  "CMakeFiles/aoci_bytecode.dir/Method.cpp.o.d"
+  "CMakeFiles/aoci_bytecode.dir/Opcode.cpp.o"
+  "CMakeFiles/aoci_bytecode.dir/Opcode.cpp.o.d"
+  "CMakeFiles/aoci_bytecode.dir/Program.cpp.o"
+  "CMakeFiles/aoci_bytecode.dir/Program.cpp.o.d"
+  "CMakeFiles/aoci_bytecode.dir/ProgramBuilder.cpp.o"
+  "CMakeFiles/aoci_bytecode.dir/ProgramBuilder.cpp.o.d"
+  "CMakeFiles/aoci_bytecode.dir/Verifier.cpp.o"
+  "CMakeFiles/aoci_bytecode.dir/Verifier.cpp.o.d"
+  "libaoci_bytecode.a"
+  "libaoci_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aoci_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aoci_core.dir/AdaptiveSystem.cpp.o"
+  "CMakeFiles/aoci_core.dir/AdaptiveSystem.cpp.o.d"
+  "CMakeFiles/aoci_core.dir/AosDatabase.cpp.o"
+  "CMakeFiles/aoci_core.dir/AosDatabase.cpp.o.d"
+  "CMakeFiles/aoci_core.dir/Controller.cpp.o"
+  "CMakeFiles/aoci_core.dir/Controller.cpp.o.d"
+  "CMakeFiles/aoci_core.dir/Organizers.cpp.o"
+  "CMakeFiles/aoci_core.dir/Organizers.cpp.o.d"
+  "libaoci_core.a"
+  "libaoci_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aoci_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aoci_harness.dir/CsvExport.cpp.o"
+  "CMakeFiles/aoci_harness.dir/CsvExport.cpp.o.d"
+  "CMakeFiles/aoci_harness.dir/Experiment.cpp.o"
+  "CMakeFiles/aoci_harness.dir/Experiment.cpp.o.d"
+  "CMakeFiles/aoci_harness.dir/Reporters.cpp.o"
+  "CMakeFiles/aoci_harness.dir/Reporters.cpp.o.d"
+  "libaoci_harness.a"
+  "libaoci_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aoci_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

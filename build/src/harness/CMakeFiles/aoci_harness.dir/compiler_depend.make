@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aoci_harness.
+# This may be replaced when dependencies are built.

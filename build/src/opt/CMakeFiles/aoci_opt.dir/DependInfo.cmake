@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/Compiler.cpp" "src/opt/CMakeFiles/aoci_opt.dir/Compiler.cpp.o" "gcc" "src/opt/CMakeFiles/aoci_opt.dir/Compiler.cpp.o.d"
+  "/root/repo/src/opt/InliningOracle.cpp" "src/opt/CMakeFiles/aoci_opt.dir/InliningOracle.cpp.o" "gcc" "src/opt/CMakeFiles/aoci_opt.dir/InliningOracle.cpp.o.d"
+  "/root/repo/src/opt/PlanPrinter.cpp" "src/opt/CMakeFiles/aoci_opt.dir/PlanPrinter.cpp.o" "gcc" "src/opt/CMakeFiles/aoci_opt.dir/PlanPrinter.cpp.o.d"
+  "/root/repo/src/opt/SizeEstimator.cpp" "src/opt/CMakeFiles/aoci_opt.dir/SizeEstimator.cpp.o" "gcc" "src/opt/CMakeFiles/aoci_opt.dir/SizeEstimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/aoci_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/aoci_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/aoci_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/aoci_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aoci_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aoci_opt.dir/Compiler.cpp.o"
+  "CMakeFiles/aoci_opt.dir/Compiler.cpp.o.d"
+  "CMakeFiles/aoci_opt.dir/InliningOracle.cpp.o"
+  "CMakeFiles/aoci_opt.dir/InliningOracle.cpp.o.d"
+  "CMakeFiles/aoci_opt.dir/PlanPrinter.cpp.o"
+  "CMakeFiles/aoci_opt.dir/PlanPrinter.cpp.o.d"
+  "CMakeFiles/aoci_opt.dir/SizeEstimator.cpp.o"
+  "CMakeFiles/aoci_opt.dir/SizeEstimator.cpp.o.d"
+  "libaoci_opt.a"
+  "libaoci_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aoci_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aoci_policy.dir/ContextPolicy.cpp.o"
+  "CMakeFiles/aoci_policy.dir/ContextPolicy.cpp.o.d"
+  "libaoci_policy.a"
+  "libaoci_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aoci_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

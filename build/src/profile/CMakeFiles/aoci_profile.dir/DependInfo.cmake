@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/CallingContextTree.cpp" "src/profile/CMakeFiles/aoci_profile.dir/CallingContextTree.cpp.o" "gcc" "src/profile/CMakeFiles/aoci_profile.dir/CallingContextTree.cpp.o.d"
+  "/root/repo/src/profile/Context.cpp" "src/profile/CMakeFiles/aoci_profile.dir/Context.cpp.o" "gcc" "src/profile/CMakeFiles/aoci_profile.dir/Context.cpp.o.d"
+  "/root/repo/src/profile/DynamicCallGraph.cpp" "src/profile/CMakeFiles/aoci_profile.dir/DynamicCallGraph.cpp.o" "gcc" "src/profile/CMakeFiles/aoci_profile.dir/DynamicCallGraph.cpp.o.d"
+  "/root/repo/src/profile/InlineRules.cpp" "src/profile/CMakeFiles/aoci_profile.dir/InlineRules.cpp.o" "gcc" "src/profile/CMakeFiles/aoci_profile.dir/InlineRules.cpp.o.d"
+  "/root/repo/src/profile/Listeners.cpp" "src/profile/CMakeFiles/aoci_profile.dir/Listeners.cpp.o" "gcc" "src/profile/CMakeFiles/aoci_profile.dir/Listeners.cpp.o.d"
+  "/root/repo/src/profile/ProfileIo.cpp" "src/profile/CMakeFiles/aoci_profile.dir/ProfileIo.cpp.o" "gcc" "src/profile/CMakeFiles/aoci_profile.dir/ProfileIo.cpp.o.d"
+  "/root/repo/src/profile/TraceStatistics.cpp" "src/profile/CMakeFiles/aoci_profile.dir/TraceStatistics.cpp.o" "gcc" "src/profile/CMakeFiles/aoci_profile.dir/TraceStatistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/aoci_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/aoci_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/aoci_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aoci_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

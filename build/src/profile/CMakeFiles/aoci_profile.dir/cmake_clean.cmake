@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aoci_profile.dir/CallingContextTree.cpp.o"
+  "CMakeFiles/aoci_profile.dir/CallingContextTree.cpp.o.d"
+  "CMakeFiles/aoci_profile.dir/Context.cpp.o"
+  "CMakeFiles/aoci_profile.dir/Context.cpp.o.d"
+  "CMakeFiles/aoci_profile.dir/DynamicCallGraph.cpp.o"
+  "CMakeFiles/aoci_profile.dir/DynamicCallGraph.cpp.o.d"
+  "CMakeFiles/aoci_profile.dir/InlineRules.cpp.o"
+  "CMakeFiles/aoci_profile.dir/InlineRules.cpp.o.d"
+  "CMakeFiles/aoci_profile.dir/Listeners.cpp.o"
+  "CMakeFiles/aoci_profile.dir/Listeners.cpp.o.d"
+  "CMakeFiles/aoci_profile.dir/ProfileIo.cpp.o"
+  "CMakeFiles/aoci_profile.dir/ProfileIo.cpp.o.d"
+  "CMakeFiles/aoci_profile.dir/TraceStatistics.cpp.o"
+  "CMakeFiles/aoci_profile.dir/TraceStatistics.cpp.o.d"
+  "libaoci_profile.a"
+  "libaoci_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aoci_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aoci_support.dir/Statistics.cpp.o"
+  "CMakeFiles/aoci_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/aoci_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/aoci_support.dir/StringUtils.cpp.o.d"
+  "libaoci_support.a"
+  "libaoci_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aoci_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaoci_support.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aoci_vm.dir/CodeManager.cpp.o"
+  "CMakeFiles/aoci_vm.dir/CodeManager.cpp.o.d"
+  "CMakeFiles/aoci_vm.dir/InlinePlan.cpp.o"
+  "CMakeFiles/aoci_vm.dir/InlinePlan.cpp.o.d"
+  "CMakeFiles/aoci_vm.dir/VirtualMachine.cpp.o"
+  "CMakeFiles/aoci_vm.dir/VirtualMachine.cpp.o.d"
+  "libaoci_vm.a"
+  "libaoci_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aoci_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/Compress.cpp" "src/workload/CMakeFiles/aoci_workload.dir/Compress.cpp.o" "gcc" "src/workload/CMakeFiles/aoci_workload.dir/Compress.cpp.o.d"
+  "/root/repo/src/workload/Db.cpp" "src/workload/CMakeFiles/aoci_workload.dir/Db.cpp.o" "gcc" "src/workload/CMakeFiles/aoci_workload.dir/Db.cpp.o.d"
+  "/root/repo/src/workload/FigureOne.cpp" "src/workload/CMakeFiles/aoci_workload.dir/FigureOne.cpp.o" "gcc" "src/workload/CMakeFiles/aoci_workload.dir/FigureOne.cpp.o.d"
+  "/root/repo/src/workload/Jack.cpp" "src/workload/CMakeFiles/aoci_workload.dir/Jack.cpp.o" "gcc" "src/workload/CMakeFiles/aoci_workload.dir/Jack.cpp.o.d"
+  "/root/repo/src/workload/Javac.cpp" "src/workload/CMakeFiles/aoci_workload.dir/Javac.cpp.o" "gcc" "src/workload/CMakeFiles/aoci_workload.dir/Javac.cpp.o.d"
+  "/root/repo/src/workload/Jbb.cpp" "src/workload/CMakeFiles/aoci_workload.dir/Jbb.cpp.o" "gcc" "src/workload/CMakeFiles/aoci_workload.dir/Jbb.cpp.o.d"
+  "/root/repo/src/workload/Jess.cpp" "src/workload/CMakeFiles/aoci_workload.dir/Jess.cpp.o" "gcc" "src/workload/CMakeFiles/aoci_workload.dir/Jess.cpp.o.d"
+  "/root/repo/src/workload/Mpegaudio.cpp" "src/workload/CMakeFiles/aoci_workload.dir/Mpegaudio.cpp.o" "gcc" "src/workload/CMakeFiles/aoci_workload.dir/Mpegaudio.cpp.o.d"
+  "/root/repo/src/workload/Mtrt.cpp" "src/workload/CMakeFiles/aoci_workload.dir/Mtrt.cpp.o" "gcc" "src/workload/CMakeFiles/aoci_workload.dir/Mtrt.cpp.o.d"
+  "/root/repo/src/workload/Registry.cpp" "src/workload/CMakeFiles/aoci_workload.dir/Registry.cpp.o" "gcc" "src/workload/CMakeFiles/aoci_workload.dir/Registry.cpp.o.d"
+  "/root/repo/src/workload/WorkloadCommon.cpp" "src/workload/CMakeFiles/aoci_workload.dir/WorkloadCommon.cpp.o" "gcc" "src/workload/CMakeFiles/aoci_workload.dir/WorkloadCommon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/aoci_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aoci_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aoci_workload.dir/Compress.cpp.o"
+  "CMakeFiles/aoci_workload.dir/Compress.cpp.o.d"
+  "CMakeFiles/aoci_workload.dir/Db.cpp.o"
+  "CMakeFiles/aoci_workload.dir/Db.cpp.o.d"
+  "CMakeFiles/aoci_workload.dir/FigureOne.cpp.o"
+  "CMakeFiles/aoci_workload.dir/FigureOne.cpp.o.d"
+  "CMakeFiles/aoci_workload.dir/Jack.cpp.o"
+  "CMakeFiles/aoci_workload.dir/Jack.cpp.o.d"
+  "CMakeFiles/aoci_workload.dir/Javac.cpp.o"
+  "CMakeFiles/aoci_workload.dir/Javac.cpp.o.d"
+  "CMakeFiles/aoci_workload.dir/Jbb.cpp.o"
+  "CMakeFiles/aoci_workload.dir/Jbb.cpp.o.d"
+  "CMakeFiles/aoci_workload.dir/Jess.cpp.o"
+  "CMakeFiles/aoci_workload.dir/Jess.cpp.o.d"
+  "CMakeFiles/aoci_workload.dir/Mpegaudio.cpp.o"
+  "CMakeFiles/aoci_workload.dir/Mpegaudio.cpp.o.d"
+  "CMakeFiles/aoci_workload.dir/Mtrt.cpp.o"
+  "CMakeFiles/aoci_workload.dir/Mtrt.cpp.o.d"
+  "CMakeFiles/aoci_workload.dir/Registry.cpp.o"
+  "CMakeFiles/aoci_workload.dir/Registry.cpp.o.d"
+  "CMakeFiles/aoci_workload.dir/WorkloadCommon.cpp.o"
+  "CMakeFiles/aoci_workload.dir/WorkloadCommon.cpp.o.d"
+  "libaoci_workload.a"
+  "libaoci_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aoci_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracle_property.dir/OraclePropertyTest.cpp.o"
+  "CMakeFiles/test_oracle_property.dir/OraclePropertyTest.cpp.o.d"
+  "test_oracle_property"
+  "test_oracle_property.pdb"
+  "test_oracle_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracle_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

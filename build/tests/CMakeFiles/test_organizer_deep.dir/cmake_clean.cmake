@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_organizer_deep.dir/OrganizerDeepTest.cpp.o"
+  "CMakeFiles/test_organizer_deep.dir/OrganizerDeepTest.cpp.o.d"
+  "test_organizer_deep"
+  "test_organizer_deep.pdb"
+  "test_organizer_deep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_organizer_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

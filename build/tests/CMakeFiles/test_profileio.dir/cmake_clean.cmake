@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profileio.dir/ProfileIoTest.cpp.o"
+  "CMakeFiles/test_profileio.dir/ProfileIoTest.cpp.o.d"
+  "test_profileio"
+  "test_profileio.pdb"
+  "test_profileio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profileio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

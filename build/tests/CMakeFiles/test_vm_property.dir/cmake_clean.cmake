@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_property.dir/VmPropertyTest.cpp.o"
+  "CMakeFiles/test_vm_property.dir/VmPropertyTest.cpp.o.d"
+  "test_vm_property"
+  "test_vm_property.pdb"
+  "test_vm_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_unit.dir/VmUnitTest.cpp.o"
+  "CMakeFiles/test_vm_unit.dir/VmUnitTest.cpp.o.d"
+  "test_vm_unit"
+  "test_vm_unit.pdb"
+  "test_vm_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

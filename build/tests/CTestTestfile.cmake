@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_bytecode[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_profile[1]_include.cmake")
+include("/root/repo/build/tests/test_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_profileio[1]_include.cmake")
+include("/root/repo/build/tests/test_vm_property[1]_include.cmake")
+include("/root/repo/build/tests/test_oracle_property[1]_include.cmake")
+include("/root/repo/build/tests/test_organizer_deep[1]_include.cmake")
+include("/root/repo/build/tests/test_vm_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_shape[1]_include.cmake")
+include("/root/repo/build/tests/test_mutation[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aoci.dir/aoci.cpp.o"
+  "CMakeFiles/aoci.dir/aoci.cpp.o.d"
+  "aoci"
+  "aoci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aoci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
