@@ -8,7 +8,9 @@
 // six policies at maximum context depths 2..5, per benchmark plus the
 // harmonic mean, followed by the abstract's summary numbers.
 //
-// Set AOCI_SCALE (e.g. 0.25) to shrink run length for a quick pass.
+// Set AOCI_SCALE (e.g. 0.25) to shrink run length for a quick pass and
+// AOCI_JOBS to bound the worker threads (default: all hardware threads;
+// results are byte-identical for every job count).
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,9 +28,13 @@ int main() {
     Config.Params.Scale = std::atof(Scale);
   if (const char *Trials = std::getenv("AOCI_TRIALS"))
     Config.Trials = static_cast<unsigned>(std::atoi(Trials));
-  GridResults Results = runGrid(Config, [](const std::string &Line) {
-    std::fprintf(stderr, "%s\n", Line.c_str());
-  });
+  unsigned Jobs = 0;
+  if (const char *J = std::getenv("AOCI_JOBS"))
+    Jobs = static_cast<unsigned>(std::atoi(J));
+  GridResults Results =
+      runGridParallel(Config, Jobs, [](const std::string &Line) {
+        std::fprintf(stderr, "%s\n", Line.c_str());
+      });
   std::printf("%s\n",
               reportFigure4(Results, Config.Policies, Config.Depths).c_str());
   std::printf("%s\n",

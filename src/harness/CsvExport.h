@@ -34,6 +34,13 @@ std::string exportCsv(const GridResults &Results,
                       const std::vector<PolicyKind> &Policies,
                       const std::vector<unsigned> &Depths);
 
+/// Renders the harness-side execution record (GridResults::metrics())
+/// as CSV, one row per run in grid order. Columns:
+///   workload,policy,max_depth,kind,worker,queue_ns,host_ns,run_cycles
+/// Kept separate from exportCsv(): simulated results are bit-identical
+/// across thread counts, host timings and worker assignments are not.
+std::string exportMetricsCsv(const GridResults &Results);
+
 } // namespace aoci
 
 #endif // AOCI_HARNESS_CSVEXPORT_H

@@ -9,8 +9,13 @@
 
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
 
 using namespace aoci;
 
@@ -59,13 +64,46 @@ RunResult aoci::runExperiment(const RunConfig &Config) {
   return R;
 }
 
+uint64_t aoci::deriveRunSeed(const RunConfig &Config, unsigned Trial) {
+  // Trial 0 keeps the configured seed so a single-trial grid cell is
+  // exactly the configured run.
+  if (Trial == 0)
+    return Config.Model.SampleJitterSeed;
+  // FNV-1a over every configuration field that identifies the run,
+  // finished with a SplitMix64 avalanche. Nothing here depends on when
+  // or where the run executes.
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto MixByte = [&H](unsigned char B) {
+    H ^= B;
+    H *= 0x100000001b3ull;
+  };
+  auto Mix = [&MixByte](uint64_t V) {
+    for (unsigned I = 0; I != 8; ++I)
+      MixByte(static_cast<unsigned char>(V >> (8 * I)));
+  };
+  for (char C : Config.WorkloadName)
+    MixByte(static_cast<unsigned char>(C));
+  Mix(static_cast<uint64_t>(Config.Policy));
+  Mix(Config.MaxDepth);
+  Mix(Config.Params.Seed);
+  uint64_t ScaleBits = 0;
+  static_assert(sizeof(Config.Params.Scale) == sizeof(ScaleBits));
+  std::memcpy(&ScaleBits, &Config.Params.Scale, sizeof(ScaleBits));
+  Mix(ScaleBits);
+  Mix(Config.Model.SampleJitterSeed);
+  Mix(Trial);
+  H += 0x9e3779b97f4a7c15ull;
+  H = (H ^ (H >> 30)) * 0xbf58476d1ce4e5b9ull;
+  H = (H ^ (H >> 27)) * 0x94d049bb133111ebull;
+  return H ^ (H >> 31);
+}
+
 RunResult aoci::runBestOf(const RunConfig &Config, unsigned Trials) {
   assert(Trials >= 1 && "need at least one trial");
   RunResult Best;
   for (unsigned T = 0; T != Trials; ++T) {
     RunConfig Trial = Config;
-    Trial.Model.SampleJitterSeed =
-        Config.Model.SampleJitterSeed + 0x9e3779b9ull * T;
+    Trial.Model.SampleJitterSeed = deriveRunSeed(Config, T);
     RunResult R = runExperiment(Trial);
     if (T == 0 || R.WallCycles < Best.WallCycles)
       Best = std::move(R);
@@ -133,52 +171,171 @@ void GridResults::addCell(RunResult R) {
   Cells.emplace(std::move(Key), std::move(R));
 }
 
-GridResults
-aoci::runGrid(const GridConfig &Config,
-              const std::function<void(const std::string &)> &Progress) {
-  GridResults Results;
-  for (const std::string &Name : Config.Workloads) {
-    RunConfig Base;
-    Base.WorkloadName = Name;
-    Base.Params = Config.Params;
-    Base.Policy = PolicyKind::ContextInsensitive;
-    Base.MaxDepth = 1;
-    Base.Aos = Config.Aos;
-    RunResult BaseResult = runBestOf(Base, Config.Trials);
-    if (Progress)
-      Progress(formatString("%-12s cins: %llu cycles, %llu opt bytes",
-                            Name.c_str(),
-                            static_cast<unsigned long long>(
-                                BaseResult.WallCycles),
-                            static_cast<unsigned long long>(
-                                BaseResult.OptBytesGenerated)));
-    Results.addBaseline(std::move(BaseResult));
+namespace {
 
+/// One scheduled run of a sweep. Both the serial and the parallel
+/// runner execute the same plan, built by planGrid() below, which is
+/// what makes their GridResults identical by construction.
+struct PlannedRun {
+  RunConfig Config;
+  bool IsBaseline = false;
+};
+
+std::vector<PlannedRun> planGrid(const GridConfig &Config) {
+  std::vector<PlannedRun> Plan;
+  Plan.reserve(Config.Workloads.size() *
+               (1 + Config.Policies.size() * Config.Depths.size()));
+  for (const std::string &Name : Config.Workloads) {
+    PlannedRun Base;
+    Base.Config.WorkloadName = Name;
+    Base.Config.Params = Config.Params;
+    Base.Config.Policy = PolicyKind::ContextInsensitive;
+    Base.Config.MaxDepth = 1;
+    Base.Config.Aos = Config.Aos;
+    Base.IsBaseline = true;
+    Plan.push_back(Base);
     for (PolicyKind Policy : Config.Policies) {
       for (unsigned Depth : Config.Depths) {
-        RunConfig Cell = Base;
-        Cell.Policy = Policy;
-        Cell.MaxDepth = Depth;
-        RunResult CellResult = runBestOf(Cell, Config.Trials);
-        if (Progress)
-          Progress(formatString(
-              "%-12s %-10s max=%u: speedup %s, code %s", Name.c_str(),
-              policyKindName(Policy), Depth,
-              formatPercent(aoci::speedupPercent(
-                                static_cast<double>(
-                                    Results.baseline(Name).WallCycles),
-                                static_cast<double>(CellResult.WallCycles)))
-                  .c_str(),
-              formatPercent(
-                  percentChange(static_cast<double>(
-                                    Results.baseline(Name)
-                                        .OptBytesGenerated),
-                                static_cast<double>(
-                                    CellResult.OptBytesGenerated)))
-                  .c_str()));
-        Results.addCell(std::move(CellResult));
+        PlannedRun Cell = Base;
+        Cell.Config.Policy = Policy;
+        Cell.Config.MaxDepth = Depth;
+        Cell.IsBaseline = false;
+        Plan.push_back(std::move(Cell));
       }
     }
   }
+  return Plan;
+}
+
+RunMetrics makeMetrics(const PlannedRun &Run, const RunResult &Result,
+                       unsigned Worker, uint64_t QueueLatencyNs,
+                       uint64_t HostNs) {
+  RunMetrics M;
+  M.WorkloadName = Result.WorkloadName;
+  M.Policy = Run.Config.Policy;
+  M.MaxDepth = Run.Config.MaxDepth;
+  M.IsBaseline = Run.IsBaseline;
+  M.Worker = Worker;
+  M.QueueLatencyNs = QueueLatencyNs;
+  M.HostNs = HostNs;
+  M.RunCycles = Result.WallCycles;
+  return M;
+}
+
+/// Folds executed runs (in plan order) into a GridResults.
+GridResults assembleGrid(std::vector<PlannedRun> &Plan,
+                         std::vector<RunResult> &Runs,
+                         std::vector<RunMetrics> &Metrics) {
+  GridResults Results;
+  for (size_t I = 0; I != Plan.size(); ++I) {
+    if (Plan[I].IsBaseline)
+      Results.addBaseline(std::move(Runs[I]));
+    else
+      Results.addCell(std::move(Runs[I]));
+    Results.addMetrics(std::move(Metrics[I]));
+  }
   return Results;
+}
+
+uint64_t elapsedNs(std::chrono::steady_clock::time_point From,
+                   std::chrono::steady_clock::time_point To) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(To - From)
+          .count());
+}
+
+} // namespace
+
+GridResults
+aoci::runGrid(const GridConfig &Config,
+              const std::function<void(const std::string &)> &Progress) {
+  std::vector<PlannedRun> Plan = planGrid(Config);
+  std::vector<RunResult> Runs(Plan.size());
+  std::vector<RunMetrics> Metrics(Plan.size());
+  // The serial runner keeps its richer progress lines: by the time a
+  // cell finishes its workload's baseline has too, so the line can
+  // already report the relative quantities.
+  const RunResult *Baseline = nullptr;
+  for (size_t I = 0; I != Plan.size(); ++I) {
+    auto Start = std::chrono::steady_clock::now();
+    Runs[I] = runBestOf(Plan[I].Config, Config.Trials);
+    auto End = std::chrono::steady_clock::now();
+    Metrics[I] = makeMetrics(Plan[I], Runs[I], 0, 0, elapsedNs(Start, End));
+    const RunResult &R = Runs[I];
+    if (Plan[I].IsBaseline) {
+      Baseline = &R;
+      if (Progress)
+        Progress(formatString(
+            "%-12s cins: %llu cycles, %llu opt bytes",
+            R.WorkloadName.c_str(),
+            static_cast<unsigned long long>(R.WallCycles),
+            static_cast<unsigned long long>(R.OptBytesGenerated)));
+    } else if (Progress) {
+      Progress(formatString(
+          "%-12s %-10s max=%u: speedup %s, code %s",
+          R.WorkloadName.c_str(), policyKindName(R.Policy), R.MaxDepth,
+          formatPercent(
+              aoci::speedupPercent(
+                  static_cast<double>(Baseline->WallCycles),
+                  static_cast<double>(R.WallCycles)))
+              .c_str(),
+          formatPercent(
+              percentChange(
+                  static_cast<double>(Baseline->OptBytesGenerated),
+                  static_cast<double>(R.OptBytesGenerated)))
+              .c_str()));
+    }
+  }
+  return assembleGrid(Plan, Runs, Metrics);
+}
+
+GridResults aoci::runGridParallel(
+    const GridConfig &Config, unsigned Jobs,
+    const std::function<void(const std::string &)> &Progress) {
+  if (Jobs == 0)
+    Jobs = std::thread::hardware_concurrency();
+  if (Jobs == 0)
+    Jobs = 1;
+  std::vector<PlannedRun> Plan = planGrid(Config);
+  std::vector<RunResult> Runs(Plan.size());
+  std::vector<RunMetrics> Metrics(Plan.size());
+  {
+    ThreadPool Pool(Jobs);
+    std::mutex ProgressMutex;
+    std::vector<std::future<void>> Futures;
+    Futures.reserve(Plan.size());
+    for (size_t I = 0; I != Plan.size(); ++I) {
+      auto Enqueued = std::chrono::steady_clock::now();
+      Futures.push_back(Pool.submit([&, I, Enqueued] {
+        auto Start = std::chrono::steady_clock::now();
+        RunResult R = runBestOf(Plan[I].Config, Config.Trials);
+        auto End = std::chrono::steady_clock::now();
+        Metrics[I] =
+            makeMetrics(Plan[I], R, ThreadPool::currentWorkerId(),
+                        elapsedNs(Enqueued, Start), elapsedNs(Start, End));
+        Runs[I] = std::move(R);
+        if (Progress) {
+          // Relative quantities need the workload's baseline, which may
+          // still be in flight on another worker; report absolutes.
+          std::lock_guard<std::mutex> Lock(ProgressMutex);
+          Progress(formatString(
+              "%-12s %-10s max=%u: %llu cycles, %llu opt bytes "
+              "(worker %u, %.1f host ms)",
+              Runs[I].WorkloadName.c_str(),
+              Plan[I].IsBaseline ? "cins"
+                                 : policyKindName(Plan[I].Config.Policy),
+              Plan[I].Config.MaxDepth,
+              static_cast<unsigned long long>(Runs[I].WallCycles),
+              static_cast<unsigned long long>(Runs[I].OptBytesGenerated),
+              Metrics[I].Worker,
+              static_cast<double>(Metrics[I].HostNs) / 1e6));
+        }
+      }));
+    }
+    // get() rather than wait(): a run that threw re-throws here, after
+    // the pool has drained (the destructor joins the workers).
+    for (std::future<void> &F : Futures)
+      F.get();
+  }
+  return assembleGrid(Plan, Runs, Metrics);
 }

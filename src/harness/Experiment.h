@@ -91,11 +91,42 @@ struct RunResult {
 /// Runs one experiment to completion.
 RunResult runExperiment(const RunConfig &Config);
 
+/// Derives the sampling-jitter seed for trial \p Trial of \p Config.
+/// The seed is a pure function of the run's configuration (workload,
+/// policy, depth, workload params, base jitter seed) and the trial
+/// index — never of submission order, thread id, or grid position — so
+/// a parallel sweep charges exactly the timer jitter a serial sweep
+/// would. Trial 0 returns the configured seed unchanged, which keeps a
+/// single-trial run identical to a bare runExperiment().
+uint64_t deriveRunSeed(const RunConfig &Config, unsigned Trial);
+
 /// Runs \p Trials experiments differing only in the sampling timer's
-/// jitter seed and returns the fastest (smallest WallCycles) — the
-/// paper's "best run of 20" methodology, scaled down. Trials must be
-/// at least 1.
+/// jitter seed (see deriveRunSeed) and returns the fastest (smallest
+/// WallCycles) — the paper's "best run of 20" methodology, scaled
+/// down. Trials must be at least 1.
 RunResult runBestOf(const RunConfig &Config, unsigned Trials);
+
+/// Host-side execution record of one grid run. Everything in here is
+/// about the *harness* (host wall time, queue latency, which worker ran
+/// the cell) and is deliberately kept out of RunResult and the
+/// deterministic grid CSV: simulated results are bit-identical across
+/// thread counts, host timings never are. Exported separately via
+/// exportMetricsCsv() / reportRunMetrics().
+struct RunMetrics {
+  std::string WorkloadName;
+  PolicyKind Policy = PolicyKind::ContextInsensitive;
+  unsigned MaxDepth = 1;
+  /// True for the per-workload context-insensitive baseline run.
+  bool IsBaseline = false;
+  /// Pool worker that executed the run (0 in a serial sweep).
+  unsigned Worker = 0;
+  /// Host ns the run sat queued before a worker picked it up.
+  uint64_t QueueLatencyNs = 0;
+  /// Host ns spent executing the run (all trials).
+  uint64_t HostNs = 0;
+  /// The run's simulated wall cycles (copied from the best trial).
+  uint64_t RunCycles = 0;
+};
 
 /// The benchmark x policy x depth sweep.
 struct GridConfig {
@@ -136,21 +167,39 @@ public:
 
   const std::vector<std::string> &workloads() const { return Workloads; }
 
+  /// Host-side execution records, one per run, in grid order (per
+  /// workload: baseline first, then policies x depths as configured).
+  const std::vector<RunMetrics> &metrics() const { return Metrics; }
+
   void addBaseline(RunResult R);
   void addCell(RunResult R);
+  void addMetrics(RunMetrics M) { Metrics.push_back(std::move(M)); }
 
 private:
   using CellKey = std::tuple<std::string, uint8_t, unsigned>;
   std::vector<std::string> Workloads;
   std::map<std::string, RunResult> Baselines;
   std::map<CellKey, RunResult> Cells;
+  std::vector<RunMetrics> Metrics;
 };
 
-/// Runs the whole sweep; \p Progress (if provided) is invoked with a
-/// human-readable line after each completed run.
+/// Runs the whole sweep serially; \p Progress (if provided) is invoked
+/// with a human-readable line after each completed run.
 GridResults
 runGrid(const GridConfig &Config,
         const std::function<void(const std::string &)> &Progress = nullptr);
+
+/// Runs the sweep on a pool of \p Jobs worker threads (0 selects
+/// std::thread::hardware_concurrency). Each run executes in its own
+/// fresh VM with a jitter seed derived from its configuration alone
+/// (deriveRunSeed), so the returned GridResults — and hence
+/// exportCsv()'s bytes — are identical to runGrid()'s for every thread
+/// count; only metrics() (host timings, worker ids) and the
+/// interleaving of Progress lines differ. Progress may be invoked from
+/// worker threads, one call at a time (the runner serializes it).
+GridResults runGridParallel(
+    const GridConfig &Config, unsigned Jobs,
+    const std::function<void(const std::string &)> &Progress = nullptr);
 
 } // namespace aoci
 

@@ -211,3 +211,38 @@ std::string aoci::reportSummary(const GridResults &Results,
                       formatPercent(MaxCompileReduction).c_str());
   return Out;
 }
+
+std::string aoci::reportRunMetrics(const GridResults &Results) {
+  const std::vector<RunMetrics> &Metrics = Results.metrics();
+  std::vector<std::vector<std::string>> Rows;
+  uint64_t TotalHostNs = 0, TotalQueueNs = 0, TotalCycles = 0;
+  unsigned MaxWorker = 0;
+  for (const RunMetrics &M : Metrics) {
+    Rows.push_back(
+        {M.WorkloadName,
+         M.IsBaseline ? "cins" : policyKindName(M.Policy),
+         formatString("%u", M.MaxDepth), formatString("%u", M.Worker),
+         formatString("%.1f", static_cast<double>(M.QueueLatencyNs) / 1e3),
+         formatString("%.2f", static_cast<double>(M.HostNs) / 1e6),
+         formatString("%.2f", static_cast<double>(M.RunCycles) / 1e6)});
+    TotalHostNs += M.HostNs;
+    TotalQueueNs += M.QueueLatencyNs;
+    TotalCycles += M.RunCycles;
+    MaxWorker = std::max(MaxWorker, M.Worker);
+  }
+  std::string Out = "Harness run metrics (host-side; not deterministic)\n";
+  Out += renderTable({"workload", "policy", "max", "worker", "queue us",
+                      "host ms", "Mcycles"},
+                     Rows);
+  if (Metrics.empty())
+    return Out;
+  double N = static_cast<double>(Metrics.size());
+  Out += formatString(
+      "  %zu runs on %u worker(s): %.1f host ms of run work, "
+      "mean queue latency %.1f us, %.1f simulated Mcycles\n",
+      Metrics.size(), MaxWorker + 1,
+      static_cast<double>(TotalHostNs) / 1e6,
+      static_cast<double>(TotalQueueNs) / 1e3 / N,
+      static_cast<double>(TotalCycles) / 1e6);
+  return Out;
+}

@@ -58,6 +58,12 @@ std::string reportSummary(const GridResults &Results,
                           const std::vector<PolicyKind> &Policies,
                           const std::vector<unsigned> &Depths);
 
+/// Harness execution report: one row per run (worker, queue latency,
+/// host time, simulated cycles) plus aggregate throughput lines. Host
+/// timings are nondeterministic by nature; this report is about the
+/// runner, not the simulation.
+std::string reportRunMetrics(const GridResults &Results);
+
 } // namespace aoci
 
 #endif // AOCI_HARNESS_REPORTERS_H

@@ -1,0 +1,49 @@
+//===- support/ThreadPool.cpp - Fixed-size FIFO thread pool ----------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace aoci;
+
+namespace {
+thread_local unsigned CurrentWorker = ~0u;
+} // namespace
+
+unsigned ThreadPool::currentWorkerId() { return CurrentWorker; }
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  assert(Threads >= 1 && "a pool needs at least one worker");
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  Ready.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::workerLoop(unsigned Index) {
+  CurrentWorker = Index;
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Ready.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task(); // packaged_task captures any exception in the future.
+  }
+}

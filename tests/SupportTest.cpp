@@ -9,10 +9,14 @@
 #include "support/Rng.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
+#include <stdexcept>
 
 using namespace aoci;
 
@@ -223,4 +227,103 @@ TEST(StringUtilsTest, RenderTableAlignsColumns) {
   EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 4);
   EXPECT_NE(Out.find("long"), std::string::npos);
   EXPECT_NE(Out.find("22"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, ResultsArriveThroughFuturesInSubmissionSlots) {
+  ThreadPool Pool(4);
+  std::vector<std::future<int>> Futures;
+  for (int I = 0; I != 64; ++I)
+    Futures.push_back(Pool.submit([I] { return I * I; }));
+  // Each future is bound to its task regardless of which worker ran it
+  // or in what order the tasks finished.
+  for (int I = 0; I != 64; ++I)
+    EXPECT_EQ(Futures[static_cast<size_t>(I)].get(), I * I);
+}
+
+TEST(ThreadPoolTest, SingleThreadDegeneratesToSerialFifoOrder) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.numThreads(), 1u);
+  std::vector<int> Executed;
+  std::vector<std::future<void>> Futures;
+  for (int I = 0; I != 100; ++I)
+    // No lock around Executed: with one worker the tasks run strictly
+    // one after another in submission order, which is the property
+    // under test (TSan would flag it otherwise).
+    Futures.push_back(Pool.submit([&Executed, I] { Executed.push_back(I); }));
+  for (std::future<void> &F : Futures)
+    F.get();
+  std::vector<int> Expected(100);
+  std::iota(Expected.begin(), Expected.end(), 0);
+  EXPECT_EQ(Executed, Expected);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool Pool(2);
+  std::future<int> Ok = Pool.submit([] { return 7; });
+  std::future<int> Bad =
+      Pool.submit([]() -> int { throw std::runtime_error("run failed"); });
+  EXPECT_EQ(Ok.get(), 7);
+  EXPECT_THROW(
+      {
+        try {
+          Bad.get();
+        } catch (const std::runtime_error &E) {
+          EXPECT_STREQ(E.what(), "run failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(Pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, WorkerIdsCoverThePoolAndOnlyThePool) {
+  EXPECT_EQ(ThreadPool::currentWorkerId(), ~0u);
+  ThreadPool Pool(3);
+  std::vector<std::future<unsigned>> Futures;
+  for (int I = 0; I != 60; ++I)
+    Futures.push_back(Pool.submit([] { return ThreadPool::currentWorkerId(); }));
+  for (std::future<unsigned> &F : Futures)
+    EXPECT_LT(F.get(), 3u);
+}
+
+TEST(ThreadPoolTest, StressThousandTasks) {
+  // 1000 tasks over 8 workers, each bumping an atomic and summing into
+  // its own future. Run under TSan in CI.
+  ThreadPool Pool(8);
+  std::atomic<uint64_t> Bumps{0};
+  std::vector<std::future<uint64_t>> Futures;
+  Futures.reserve(1000);
+  for (uint64_t I = 0; I != 1000; ++I)
+    Futures.push_back(Pool.submit([&Bumps, I] {
+      Bumps.fetch_add(1, std::memory_order_relaxed);
+      uint64_t Sum = 0;
+      for (uint64_t J = 0; J <= I; ++J)
+        Sum += J;
+      return Sum;
+    }));
+  uint64_t Total = 0;
+  for (uint64_t I = 0; I != 1000; ++I) {
+    uint64_t Expected = I * (I + 1) / 2;
+    uint64_t Got = Futures[I].get();
+    EXPECT_EQ(Got, Expected);
+    Total += Got;
+  }
+  EXPECT_EQ(Bumps.load(), 1000u);
+  EXPECT_GT(Total, 0u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I != 200; ++I)
+      Pool.submit([&Ran] { Ran.fetch_add(1); });
+    // No explicit wait: destruction must run every submitted task.
+  }
+  EXPECT_EQ(Ran.load(), 200);
 }

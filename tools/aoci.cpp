@@ -10,7 +10,8 @@
 //   aoci run <workload> [--policy P] [--depth N] [--scale X] [--seed N]
 //            [--plans] [--trace-stats] [--save-profile F] [--load-profile F]
 //   aoci grid [--workloads a,b] [--policies p,q] [--depths 2,3]
-//             [--scale X] [--trials N] [--csv FILE]
+//             [--scale X] [--trials N] [--jobs N] [--csv FILE]
+//             [--metrics-csv FILE] [--metrics]
 //             [--report fig4|fig5|fig6|compile|summary|all]
 //   aoci disasm <workload> [method-qualified-name]
 //
@@ -44,7 +45,8 @@ int usage() {
       "           [--seed N] [--plans] [--trace-stats]\n"
       "           [--save-profile FILE] [--load-profile FILE]\n"
       "  aoci grid [--workloads a,b] [--policies p,q] [--depths 2,3]\n"
-      "            [--scale X] [--trials N] [--csv FILE]\n"
+      "            [--scale X] [--trials N] [--jobs N] [--csv FILE]\n"
+      "            [--metrics-csv FILE] [--metrics]\n"
       "            [--report fig4|fig5|fig6|compile|summary|all]\n"
       "  aoci disasm <workload> [method]\n"
       "policies: cins fixed paramLess class large hybrid1 hybrid2 "
@@ -258,7 +260,11 @@ int cmdRun(int Argc, char **Argv) {
 int cmdGrid(int Argc, char **Argv) {
   GridConfig Config;
   std::string Report = "all";
-  std::string Csv;
+  std::string Csv, MetricsCsv;
+  // 0 lets runGridParallel pick hardware_concurrency. Results are
+  // byte-identical for every job count; see DESIGN.md.
+  unsigned Jobs = 0;
+  bool ShowMetrics = false;
 
   Args A{Argc, Argv};
   while (!A.done()) {
@@ -284,8 +290,14 @@ int cmdGrid(int Argc, char **Argv) {
       Config.Params.Scale = std::atof(Value.c_str());
     } else if (A.flag("--trials", Value)) {
       Config.Trials = static_cast<unsigned>(std::atoi(Value.c_str()));
+    } else if (A.flag("--jobs", Value)) {
+      Jobs = static_cast<unsigned>(std::atoi(Value.c_str()));
     } else if (A.flag("--csv", Value)) {
       Csv = Value;
+    } else if (A.flag("--metrics-csv", Value)) {
+      MetricsCsv = Value;
+    } else if (A.boolFlag("--metrics")) {
+      ShowMetrics = true;
     } else if (A.flag("--report", Value)) {
       Report = Value;
     } else {
@@ -294,9 +306,10 @@ int cmdGrid(int Argc, char **Argv) {
     }
   }
 
-  GridResults Results = runGrid(Config, [](const std::string &Line) {
-    std::fprintf(stderr, "%s\n", Line.c_str());
-  });
+  GridResults Results =
+      runGridParallel(Config, Jobs, [](const std::string &Line) {
+        std::fprintf(stderr, "%s\n", Line.c_str());
+      });
   if (Report == "fig4" || Report == "all")
     std::printf("%s\n",
                 reportFigure4(Results, Config.Policies, Config.Depths)
@@ -317,6 +330,8 @@ int cmdGrid(int Argc, char **Argv) {
     std::printf("%s\n",
                 reportSummary(Results, Config.Policies, Config.Depths)
                     .c_str());
+  if (ShowMetrics)
+    std::printf("%s\n", reportRunMetrics(Results).c_str());
   if (!Csv.empty()) {
     std::ofstream Out(Csv);
     if (!Out) {
@@ -325,6 +340,16 @@ int cmdGrid(int Argc, char **Argv) {
     }
     Out << exportCsv(Results, Config.Policies, Config.Depths);
     std::fprintf(stderr, "csv written to %s\n", Csv.c_str());
+  }
+  if (!MetricsCsv.empty()) {
+    std::ofstream Out(MetricsCsv);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", MetricsCsv.c_str());
+      return 1;
+    }
+    Out << exportMetricsCsv(Results);
+    std::fprintf(stderr, "metrics csv written to %s\n",
+                 MetricsCsv.c_str());
   }
   return 0;
 }
