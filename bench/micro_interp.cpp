@@ -104,6 +104,132 @@ void BM_InterpInlinedCallLoop(benchmark::State &State) {
 }
 BENCHMARK(BM_InterpInlinedCallLoop);
 
+/// Monomorphic virtual-call loop: one receiver object, one invokevirtual
+/// site. Exercises the per-site inline cache (every iteration after the
+/// first is an IC hit that skips the hierarchy walk).
+Program virtualProgram(int64_t Iterations) {
+  ProgramBuilder B;
+  ClassId A = B.addClass("A");
+  MethodId F = B.declareMethod(A, "f", MethodKind::Virtual, 1, true);
+  {
+    CodeEmitter E = B.code(F);
+    E.load(1).iconst(1).iadd().vreturn();
+    E.finish();
+  }
+  MethodId Main = B.declareMethod(A, "main", MethodKind::Static, 0, true);
+  {
+    CodeEmitter E = B.code(Main);
+    E.newObject(A).store(2);
+    E.iconst(0).store(1);
+    emitCountedLoop(E, 0, Iterations, [&](CodeEmitter &L) {
+      L.load(2).load(1).invokeVirtual(F).store(1);
+    });
+    E.load(1).vreturn();
+    E.finish();
+  }
+  B.setEntry(Main);
+  return B.build();
+}
+
+void BM_InterpVirtualDispatchLoop(benchmark::State &State) {
+  Program P = virtualProgram(10000);
+  for (auto _ : State) {
+    VirtualMachine VM(P);
+    VM.addThread(P.entryMethod());
+    VM.run();
+    benchmark::DoNotOptimize(VM.cycles());
+  }
+  State.SetItemsProcessed(State.iterations() * 10000);
+}
+BENCHMARK(BM_InterpVirtualDispatchLoop);
+
+/// Guarded-inline loop with alternating receivers: half the iterations hit
+/// the guard and run the inlined body, half fail every guard and take the
+/// fallback virtual invocation — the two hot paths of Section 3.1 dispatch.
+struct GuardedProgram {
+  Program P;
+  MethodId Main = InvalidMethodId;
+  MethodId Inlinee = InvalidMethodId;
+  BytecodeIndex CallSite = 0;
+};
+
+GuardedProgram guardedProgram(int64_t Iterations) {
+  ProgramBuilder B;
+  ClassId A = B.addClass("A");
+  MethodId F = B.declareMethod(A, "f", MethodKind::Virtual, 0, true);
+  {
+    CodeEmitter E = B.code(F);
+    E.iconst(1).vreturn();
+    E.finish();
+  }
+  ClassId C = B.addClass("C", A);
+  MethodId CF = B.addOverride(C, F);
+  {
+    CodeEmitter E = B.code(CF);
+    E.iconst(2).vreturn();
+    E.finish();
+  }
+  GuardedProgram G;
+  MethodId Main = B.declareMethod(A, "main", MethodKind::Static, 0, true);
+  {
+    CodeEmitter E = B.code(Main);
+    auto Top = E.newLabel();
+    auto Exit = E.newLabel();
+    auto UseA = E.newLabel();
+    auto Dispatch = E.newLabel();
+    E.iconst(Iterations).store(0).iconst(0).store(1);
+    E.bind(Top);
+    E.load(0).ifZero(Exit);
+    E.load(0).iconst(2).irem().ifZero(UseA);
+    E.newObject(C).jump(Dispatch);
+    E.bind(UseA);
+    E.newObject(A);
+    E.bind(Dispatch);
+    G.CallSite = E.nextIndex();
+    E.invokeVirtual(F);
+    E.load(1).iadd().store(1);
+    E.load(0).iconst(1).isub().store(0);
+    E.jump(Top);
+    E.bind(Exit);
+    E.load(1).vreturn();
+    E.finish();
+  }
+  B.setEntry(Main);
+  G.P = B.build();
+  G.Main = Main;
+  G.Inlinee = CF;
+  return G;
+}
+
+void BM_InterpGuardedInlineLoop(benchmark::State &State) {
+  GuardedProgram G = guardedProgram(10000);
+  CostModel Model;
+  for (auto _ : State) {
+    VirtualMachine VM(G.P);
+    const uint32_t BodyUnits = G.P.method(G.Inlinee).machineSize();
+    InlinePlan Plan;
+    InlineCase Case;
+    Case.Callee = G.Inlinee;
+    Case.Guarded = true;
+    Case.BodyUnits = BodyUnits;
+    Plan.Root.getOrCreate(G.CallSite).Cases.push_back(std::move(Case));
+    Plan.recountStatistics();
+    Plan.TotalUnits = G.P.method(G.Main).machineSize() + BodyUnits;
+    auto V = std::make_unique<CodeVariant>();
+    V->M = G.Main;
+    V->Level = OptLevel::Opt2;
+    V->MachineUnits = Plan.TotalUnits;
+    V->CodeBytes = Model.codeBytes(OptLevel::Opt2, V->MachineUnits);
+    V->Plan = std::move(Plan);
+    VM.codeManager().install(std::move(V));
+    VM.addThread(G.P.entryMethod());
+    VM.run();
+    benchmark::DoNotOptimize(VM.cycles());
+  }
+  State.SetItemsProcessed(State.iterations() * 10000);
+}
+BENCHMARK(BM_InterpGuardedInlineLoop);
+
 void BM_OptCompileFigureOneRunTest(benchmark::State &State) {
   FigureOneProgram F = makeFigureOne(1);
   ClassHierarchy CH(F.P);

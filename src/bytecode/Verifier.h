@@ -34,6 +34,12 @@ bool verifyMethod(const Program &P, const Method &M,
 /// problems; empty means the program is well formed.
 std::vector<std::string> verifyProgram(const Program &P);
 
+/// Maximum operand-stack depth \p M can reach, from the same dataflow the
+/// verifier runs (the verifier bounds it at 255). The interpreter's frame
+/// arena uses this to reserve each frame's full extent at entry so stack
+/// pushes never need a bounds check. \p M must verify cleanly.
+unsigned maxOperandStackDepth(const Program &P, const Method &M);
+
 } // namespace aoci
 
 #endif // AOCI_BYTECODE_VERIFIER_H

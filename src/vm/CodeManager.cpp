@@ -11,11 +11,29 @@
 
 using namespace aoci;
 
+namespace {
+
+void indexNode(const Program &P, InlineNode &Node, MethodId Body) {
+  Node.buildIndex(static_cast<uint32_t>(P.method(Body).Body.size()));
+  for (auto &Decision : Node.Sites)
+    for (InlineCase &Case : Decision.Cases)
+      if (Case.Body)
+        indexNode(P, *Case.Body, Case.Callee);
+}
+
+} // namespace
+
+void CodeVariant::indexPlanSites(const Program &P) {
+  if (!Plan.empty())
+    indexNode(P, Plan.Root, M);
+}
+
 const CodeVariant *CodeManager::install(std::unique_ptr<CodeVariant> Variant) {
   assert(Variant && "installing a null variant");
   assert(Variant->M < Current.size() && "method id out of range");
 
   CodeVariant *Ptr = Variant.get();
+  Ptr->indexPlanSites(P);
   unsigned Serial = 0;
   for (const auto &Existing : Variants)
     if (Existing->M == Ptr->M)

@@ -15,6 +15,7 @@
 #ifndef AOCI_VM_CODEMANAGER_H
 #define AOCI_VM_CODEMANAGER_H
 
+#include "bytecode/Program.h"
 #include "vm/CodeVariant.h"
 
 #include <memory>
@@ -26,7 +27,10 @@ namespace aoci {
 /// variant: running activations hold raw pointers into it.
 class CodeManager {
 public:
-  explicit CodeManager(unsigned NumMethods) : Current(NumMethods, nullptr) {}
+  /// \p P must outlive the manager; install() consults it to build each
+  /// variant's O(1) plan-site index.
+  explicit CodeManager(const Program &P)
+      : P(P), Current(P.numMethods(), nullptr) {}
 
   /// Current variant for \p M, or null when the method has never been
   /// compiled.
@@ -62,6 +66,7 @@ public:
   }
 
 private:
+  const Program &P;
   std::vector<std::unique_ptr<CodeVariant>> Variants;
   std::vector<const CodeVariant *> Current;
   uint64_t OptBytesGenerated = 0;

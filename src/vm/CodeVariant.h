@@ -20,6 +20,8 @@
 
 namespace aoci {
 
+class Program;
+
 /// One compiled version of one method. Old variants stay alive for the
 /// duration of a run because extant activations keep executing them after
 /// a recompilation installs a replacement — the same discipline Jikes RVM
@@ -39,6 +41,12 @@ struct CodeVariant {
   uint64_t CompiledAtCycle = 0;
   /// Monotonic per-method recompilation counter (0 = first compile).
   unsigned SerialNumber = 0;
+
+  /// Builds every InlineNode's direct-mapped site index (root node over
+  /// this method's body, case bodies over their callee's). Called once by
+  /// CodeManager::install so the interpreter's per-call plan lookup is
+  /// O(1) instead of a binary search.
+  void indexPlanSites(const Program &P);
 };
 
 } // namespace aoci

@@ -143,6 +143,11 @@ struct CostModel {
   /// Green-thread round-robin quantum.
   uint64_t ThreadQuantumCycles = 50000;
 
+  /// Hard cap on a thread's frame-stack depth. Exceeding it raises a
+  /// std::runtime_error with a diagnostic — in release builds too, where
+  /// runaway recursion would otherwise silently exhaust host memory.
+  uint32_t MaxFrameDepth = 4096;
+
   //===--------------------------------------------------------------------===//
   // Helpers.
   //===--------------------------------------------------------------------===//

@@ -21,6 +21,7 @@ const InlineNode::SiteDecision *InlineNode::find(BytecodeIndex Site) const {
 }
 
 InlineNode::SiteDecision &InlineNode::getOrCreate(BytecodeIndex Site) {
+  SiteIndex.clear();
   auto It = std::lower_bound(
       Sites.begin(), Sites.end(), Site,
       [](const SiteDecision &D, BytecodeIndex S) { return D.Site < S; });
@@ -29,6 +30,13 @@ InlineNode::SiteDecision &InlineNode::getOrCreate(BytecodeIndex Site) {
   SiteDecision D;
   D.Site = Site;
   return *Sites.insert(It, std::move(D));
+}
+
+void InlineNode::buildIndex(uint32_t BodySize) {
+  SiteIndex.assign(BodySize, -1);
+  for (size_t I = 0; I != Sites.size(); ++I)
+    if (Sites[I].Site < BodySize)
+      SiteIndex[Sites[I].Site] = static_cast<int32_t>(I);
 }
 
 namespace {

@@ -53,12 +53,30 @@ struct InlineNode {
   /// Decisions sorted by Site for binary search.
   std::vector<SiteDecision> Sites;
 
+  /// Direct-mapped PC -> index into Sites (-1 = no decision), built by
+  /// buildIndex() when the owning CodeVariant is installed. Empty until
+  /// then; lookup() falls back to the binary search so hand-built plans
+  /// that are never installed keep working.
+  std::vector<int32_t> SiteIndex;
+
   /// Returns the decision for \p Site, or null when the site was left as
   /// an ordinary call.
   const SiteDecision *find(BytecodeIndex Site) const;
 
+  /// O(1) variant of find() for the interpreter's call path.
+  const SiteDecision *lookup(BytecodeIndex Site) const {
+    if (Site < SiteIndex.size()) {
+      const int32_t I = SiteIndex[Site];
+      return I < 0 ? nullptr : &Sites[static_cast<size_t>(I)];
+    }
+    return find(Site);
+  }
+
+  /// Builds SiteIndex for a body of \p BodySize instructions.
+  void buildIndex(uint32_t BodySize);
+
   /// Adds (or returns the existing) decision slot for \p Site, keeping the
-  /// vector sorted.
+  /// vector sorted. Invalidates SiteIndex (rebuilt at install time).
   SiteDecision &getOrCreate(BytecodeIndex Site);
 
   bool empty() const { return Sites.empty(); }

@@ -9,35 +9,112 @@
 
 #include "bytecode/Verifier.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 using namespace aoci;
 
 VirtualMachine::VirtualMachine(const Program &P, CostModel Model)
-    : P(P), Model(Model), Hierarchy(P), Code(P.numMethods()),
-      NextSampleAt(Model.SamplePeriodCycles),
+    : P(P), Model(Model), Hierarchy(P), Code(P),
+      HotData(P.numMethods()), NextSampleAt(Model.SamplePeriodCycles),
       SampleJitter(Model.SampleJitterSeed) {
 #ifndef NDEBUG
   assert(verifyProgram(P).empty() && "program failed verification");
 #endif
 }
 
+MethodHotData &VirtualMachine::hotData(MethodId M) {
+  assert(static_cast<size_t>(M) < HotData.size() && "method id out of range");
+  MethodHotData &Hot = HotData[M];
+  if (!Hot.Body) {
+    const Method &Meth = P.method(M);
+    assert(!Meth.Body.empty() && "entering a method with no body");
+    Hot.Body = Meth.Body.data();
+    Hot.BodySize = static_cast<uint32_t>(Meth.Body.size());
+    Hot.NumLocals = Meth.NumLocals;
+    Hot.NumArgSlots = static_cast<uint16_t>(Meth.numArgSlots());
+    Hot.MaxStack = maxOperandStackDepth(P, Meth);
+  }
+  return Hot;
+}
+
+const uint64_t *VirtualMachine::costTable(MethodHotData &H, OptLevel L,
+                                          bool Inlined) {
+  std::vector<uint64_t> &Table =
+      H.Cost[static_cast<unsigned>(L) * 2 + (Inlined ? 1 : 0)];
+  if (Table.empty()) {
+    Table.reserve(H.BodySize);
+    const uint64_t PerUnit = Model.cyclesPerUnit(L);
+    for (uint32_t PC = 0; PC != H.BodySize; ++PC) {
+      uint64_t Cost = H.Body[PC].machineSize() * PerUnit;
+      // Inlined bodies see the scope benefit of cross-call optimization.
+      if (Inlined)
+        Cost = Cost * Model.ScopeBonusNum / Model.ScopeBonusDen;
+      Table.push_back(Cost);
+    }
+  }
+  return Table.data();
+}
+
+void VirtualMachine::throwRecursionLimit(const ThreadState &T,
+                                         MethodId Callee) const {
+  throw std::runtime_error(
+      "frame-stack overflow: thread " + std::to_string(T.Id) + " at depth " +
+      std::to_string(T.Frames.size()) + " entering " + P.qualifiedName(Callee) +
+      " (CostModel::MaxFrameDepth = " + std::to_string(Model.MaxFrameDepth) +
+      "; raise it or fix the runaway recursion)");
+}
+
+void VirtualMachine::pushFrame(ThreadState &T, MethodId Callee,
+                               const CodeVariant *Variant,
+                               const InlineNode *Plan, bool Inlined) {
+  if (T.Frames.size() >= Model.MaxFrameDepth)
+    throwRecursionLimit(T, Callee);
+
+  MethodHotData &Hot = hotData(Callee);
+  assert((T.Frames.empty()
+              ? T.SlabTop == 0 && Hot.NumArgSlots == 0
+              : T.SlabTop - T.Frames.back().StackBase >= Hot.NumArgSlots) &&
+         "missing call arguments");
+
+  Frame F;
+  F.Method = Callee;
+  F.Variant = Variant;
+  F.PlanNode = Plan;
+  F.Body = Hot.Body;
+  F.Cost = costTable(Hot, Variant->Level, Inlined);
+  F.Hot = &Hot;
+  // The args the caller pushed become the callee's first locals in place.
+  F.LocalsBase = T.SlabTop - Hot.NumArgSlots;
+  F.StackBase = F.LocalsBase + Hot.NumLocals;
+  F.Inlined = Inlined;
+
+  const size_t Need = static_cast<size_t>(F.StackBase) + Hot.MaxStack;
+  if (T.Slab.size() < Need)
+    T.Slab.resize(std::max(Need, T.Slab.size() * 2));
+
+  Value *Locals = T.Slab.data() + F.LocalsBase;
+  for (unsigned S = Hot.NumArgSlots; S < Hot.NumLocals; ++S)
+    Locals[S] = Value();
+
+  T.SlabTop = F.StackBase;
+  T.Frames.push_back(F);
+}
+
 unsigned VirtualMachine::addThread(MethodId Entry) {
-  const Method &M = P.method(Entry);
-  assert(M.Kind == MethodKind::Static && M.NumParams == 0 &&
+  assert(P.method(Entry).Kind == MethodKind::Static &&
+         P.method(Entry).NumParams == 0 &&
          "thread entry must be a static no-arg method");
 
   auto T = std::make_unique<ThreadState>();
   T->Id = static_cast<unsigned>(Threads.size());
 
   const CodeVariant *V = ensureCompiled(Entry);
-  Frame F;
-  F.Method = Entry;
-  F.Variant = V;
-  F.PlanNode = V->Plan.empty() ? nullptr : &V->Plan.Root;
-  F.Locals.assign(M.NumLocals, Value());
-  T->Frames.push_back(std::move(F));
+  pushFrame(*T, Entry, V, V->Plan.empty() ? nullptr : &V->Plan.Root,
+            /*Inlined=*/false);
 
   Threads.push_back(std::move(T));
   return Threads.back()->Id;
@@ -71,9 +148,10 @@ void VirtualMachine::run(uint64_t CycleLimit) {
       if (T.Finished)
         continue;
       AnyAlive = true;
-      const uint64_t QuantumEnd = Clock + Model.ThreadQuantumCycles;
-      while (!T.Finished && Clock < QuantumEnd && Clock < CycleLimit)
-        stepInstruction(T);
+      // Hoist the quantum/limit bound out of the stepping loop: one
+      // comparison per instruction instead of three.
+      interpret(T, std::min(Clock + Model.ThreadQuantumCycles, CycleLimit),
+                UINT64_MAX);
     }
     if (!AnyAlive)
       break;
@@ -81,16 +159,7 @@ void VirtualMachine::run(uint64_t CycleLimit) {
 }
 
 void VirtualMachine::step(ThreadState &T, uint64_t MaxInstructions) {
-  for (uint64_t I = 0; I != MaxInstructions && !T.Finished; ++I)
-    stepInstruction(T);
-}
-
-void VirtualMachine::chargeInstruction(const Frame &F, const Instruction &I) {
-  uint64_t Cost = I.machineSize() * Model.cyclesPerUnit(F.Variant->Level);
-  // Inlined bodies see the scope benefit of cross-call optimization.
-  if (F.Inlined)
-    Cost = Cost * Model.ScopeBonusNum / Model.ScopeBonusDen;
-  charge(Cost);
+  interpret(T, UINT64_MAX, MaxInstructions);
 }
 
 void VirtualMachine::maybeDeliverSample(ThreadState &T, bool AtPrologue) {
@@ -116,44 +185,19 @@ void VirtualMachine::maybeCollectGarbage() {
   TheHeap.noteCollection();
 }
 
-void VirtualMachine::popArgsInto(Frame &Caller, Frame &Callee,
-                                 unsigned ArgSlots) {
-  assert(Caller.Stack.size() >= ArgSlots && "missing call arguments");
-  const size_t Base = Caller.Stack.size() - ArgSlots;
-  for (unsigned I = 0; I != ArgSlots; ++I)
-    Callee.Locals[I] = Caller.Stack[Base + I];
-  Caller.Stack.resize(Base);
-}
-
 void VirtualMachine::enterPhysicalFrame(ThreadState &T, MethodId Callee,
                                         const CodeVariant *Variant) {
-  const Method &M = P.method(Callee);
-  Frame NewFrame;
-  NewFrame.Method = Callee;
-  NewFrame.Variant = Variant;
-  NewFrame.PlanNode = Variant->Plan.empty() ? nullptr : &Variant->Plan.Root;
-  NewFrame.Inlined = false;
-  NewFrame.Locals.assign(M.NumLocals, Value());
-  popArgsInto(T.Frames.back(), NewFrame, M.numArgSlots());
-  assert(T.Frames.size() < 4096 && "runaway recursion");
-  T.Frames.push_back(std::move(NewFrame));
+  pushFrame(T, Callee, Variant,
+            Variant->Plan.empty() ? nullptr : &Variant->Plan.Root,
+            /*Inlined=*/false);
   ++Counters.CallsExecuted;
 }
 
 void VirtualMachine::enterInlinedFrame(ThreadState &T,
                                        const InlineCase &Case) {
-  const Method &M = P.method(Case.Callee);
-  Frame &Caller = T.Frames.back();
+  const CodeVariant *Variant = T.Frames.back().Variant;
   charge(Model.InlineEntry);
-  Frame NewFrame;
-  NewFrame.Method = Case.Callee;
-  NewFrame.Variant = Caller.Variant;
-  NewFrame.PlanNode = Case.Body.get();
-  NewFrame.Inlined = true;
-  NewFrame.Locals.assign(M.NumLocals, Value());
-  popArgsInto(Caller, NewFrame, M.numArgSlots());
-  assert(T.Frames.size() < 4096 && "runaway recursion");
-  T.Frames.push_back(std::move(NewFrame));
+  pushFrame(T, Case.Callee, Variant, Case.Body.get(), /*Inlined=*/true);
   ++Counters.InlinedCallsEntered;
 }
 
@@ -163,26 +207,39 @@ void VirtualMachine::handleCall(ThreadState &T, const Instruction &I) {
   const unsigned ArgSlots = Decl.numArgSlots();
 
   Frame &F = T.Frames.back();
-  assert(F.Stack.size() >= ArgSlots && "stack underflow at call");
+  assert(T.SlabTop - F.StackBase >= ArgSlots && "stack underflow at call");
 
   // Resolve the runtime target and the dispatch cost a full dynamic call
   // would pay.
   MethodId Target = DeclId;
   uint64_t DispatchCost = 0;
   if (I.Op == Opcode::InvokeVirtual || I.Op == Opcode::InvokeInterface) {
-    const Value &Receiver = F.Stack[F.Stack.size() - ArgSlots];
+    const Value &Receiver = T.Slab[T.SlabTop - ArgSlots];
     assert(Receiver.isRef() && "null or non-reference receiver");
     const HeapObject &Obj = TheHeap.object(Receiver.asRef());
     assert(!Obj.IsArray && "virtual call on an array");
-    Target = Hierarchy.resolveVirtual(Obj.Klass, Decl.OverrideRoot);
-    assert(Target != InvalidMethodId && "receiver does not implement method");
+    // Monomorphic inline cache: resolveVirtual is a pure function of
+    // (receiver class, override root), so memoizing the last receiver per
+    // site can only skip the hierarchy walk, never change its answer.
+    MethodHotData &Hot = *F.Hot;
+    if (Hot.InlineCaches.empty())
+      Hot.InlineCaches.resize(Hot.BodySize);
+    MethodHotData::IcEntry &Ic = Hot.InlineCaches[F.PC];
+    if (Ic.Receiver == Obj.Klass) {
+      Target = Ic.Target;
+    } else {
+      Target = Hierarchy.resolveVirtual(Obj.Klass, Decl.OverrideRoot);
+      assert(Target != InvalidMethodId && "receiver does not implement method");
+      Ic.Receiver = Obj.Klass;
+      Ic.Target = Target;
+    }
     DispatchCost = I.Op == Opcode::InvokeVirtual ? Model.VirtualDispatch
                                                  : Model.InterfaceDispatch;
   }
 
   // Consult the active inline plan for this call site.
   if (F.PlanNode) {
-    if (const InlineNode::SiteDecision *Decision = F.PlanNode->find(F.PC)) {
+    if (const InlineNode::SiteDecision *Decision = F.PlanNode->lookup(F.PC)) {
       for (const InlineCase &Case : Decision->Cases) {
         if (Case.Guarded) {
           charge(Model.GuardTest);
@@ -211,15 +268,20 @@ void VirtualMachine::handleCall(ThreadState &T, const Instruction &I) {
 }
 
 void VirtualMachine::handleReturn(ThreadState &T, bool HasValue) {
-  Frame Done = std::move(T.Frames.back());
+  const Frame Done = T.Frames.back();
   T.Frames.pop_back();
 
   Value Ret;
   if (HasValue) {
-    assert(!Done.Stack.empty() && "value return with empty stack");
-    Ret = Done.Stack.back();
+    assert(T.SlabTop > Done.StackBase && "value return with empty stack");
+    Ret = T.Slab[T.SlabTop - 1];
   }
   charge(Done.Inlined ? 1 : Model.ReturnOverhead);
+
+  // Truncating to the callee's locals base frees its locals and stack and
+  // re-exposes the caller's stack with the argument slots already consumed
+  // (they were the callee's first locals).
+  T.SlabTop = Done.LocalsBase;
 
   if (T.Frames.empty()) {
     T.Finished = true;
@@ -229,314 +291,368 @@ void VirtualMachine::handleReturn(ThreadState &T, bool HasValue) {
   }
 
   Frame &Caller = T.Frames.back();
-  assert(isInvoke(P.method(Caller.Method).Body[Caller.PC].Op) &&
+  assert(isInvoke(Caller.Body[Caller.PC].Op) &&
          "caller not suspended at an invoke");
   ++Caller.PC;
   if (HasValue)
-    Caller.Stack.push_back(Ret);
+    T.Slab[T.SlabTop++] = Ret;
 }
 
-bool VirtualMachine::stepInstruction(ThreadState &T) {
-  if (T.Finished)
-    return false;
+void VirtualMachine::interpret(ThreadState &T, uint64_t StopClock,
+                               uint64_t MaxInstr) {
+  // Outer loop: (re-)derive the cached view of the top frame. The inner
+  // loop executes with PC and the operand-stack top in locals, spilling
+  // them back only where someone else can observe them — frame entry/exit
+  // (Refresh) and sample delivery. The frame reserved StackBase + MaxStack
+  // slab slots at entry, so pushes within the verifier's depth bound need
+  // no per-push capacity check.
+  while (!T.Finished && Clock < StopClock && MaxInstr != 0) {
+    Frame &F = T.Frames.back();
+    const Instruction *const Body = F.Body;
+    const uint64_t *const Cost = F.Cost;
+    Value *const Slab = T.Slab.data();
+    Value *const Locals = Slab + F.LocalsBase;
+    uint32_t PC = F.PC;
+    uint32_t Top = T.SlabTop;
+    // Set when the instruction changed the frame stack (call/return) or
+    // resized the slab: cached pointers are stale, fall out to re-derive.
+    bool Refresh = false;
+#ifndef NDEBUG
+    const uint32_t StackBase = F.StackBase;
+    const uint32_t MaxStack = F.Hot->MaxStack;
+    const uint32_t BodySize = F.Hot->BodySize;
+    const uint16_t NumLocals = F.Hot->NumLocals;
+#endif
 
-  Frame &F = T.Frames.back();
-  const Method &M = P.method(F.Method);
-  assert(F.PC < M.Body.size() && "PC out of range");
-  const Instruction &I = M.Body[F.PC];
+    auto push = [&](Value V) {
+      assert(Top - StackBase < MaxStack && "operand stack overflow");
+      Slab[Top++] = V;
+    };
+    auto popValue = [&]() {
+      assert(Top > StackBase && "operand stack underflow");
+      return Slab[--Top];
+    };
+    auto popInt = [&popValue]() { return popValue().asInt(); };
+    // Binary ops write the result over the first operand's slot instead of
+    // pop/pop/push: one top-of-stack adjustment instead of three.
+    auto binaryInt = [&](auto Fn) {
+      assert(Top - StackBase >= 2 && "operand stack underflow");
+      const int64_t B = Slab[Top - 1].asInt();
+      const int64_t A = Slab[Top - 2].asInt();
+      Slab[Top - 2] = Value::makeInt(Fn(A, B));
+      --Top;
+      ++PC;
+    };
+    auto branchTo = [&](int64_t Target) {
+      const bool Backward = Target <= PC;
+      PC = static_cast<uint32_t>(Target);
+      // Taken backward branches are loop-backedge yieldpoints. Listeners
+      // walk the frame stack, so spill the cached state first.
+      if (Backward) {
+        F.PC = PC;
+        T.SlabTop = Top;
+        maybeDeliverSample(T, /*AtPrologue=*/false);
+      }
+    };
 
-  ++Counters.InstructionsExecuted;
-  chargeInstruction(F, I);
+    do {
+      assert(PC < BodySize && "PC out of range");
+      const Instruction &I = Body[PC];
+      ++Counters.InstructionsExecuted;
+      --MaxInstr;
+      Clock += Cost[PC];
 
-  auto push = [&F](Value V) { F.Stack.push_back(V); };
-  auto popValue = [&F]() {
-    assert(!F.Stack.empty() && "operand stack underflow");
-    Value V = F.Stack.back();
-    F.Stack.pop_back();
-    return V;
-  };
-  auto popInt = [&popValue]() { return popValue().asInt(); };
-  auto binaryInt = [&](auto Fn) {
-    int64_t B = popInt();
-    int64_t A = popInt();
-    push(Value::makeInt(Fn(A, B)));
-    ++F.PC;
-  };
-  auto branchTo = [&](int64_t Target) {
-    const bool Backward = Target <= F.PC;
-    F.PC = static_cast<uint32_t>(Target);
-    // Taken backward branches are loop-backedge yieldpoints.
-    if (Backward)
-      maybeDeliverSample(T, /*AtPrologue=*/false);
-  };
+      switch (I.Op) {
+      case Opcode::Nop:
+      case Opcode::Work:
+        ++PC;
+        break;
+      case Opcode::IConst:
+        push(Value::makeInt(I.Operand));
+        ++PC;
+        break;
+      case Opcode::ConstNull:
+        push(Value::makeNull());
+        ++PC;
+        break;
+      case Opcode::LoadLocal:
+        assert(I.Operand >= 0 && I.Operand < NumLocals);
+        push(Locals[static_cast<size_t>(I.Operand)]);
+        ++PC;
+        break;
+      case Opcode::StoreLocal:
+        assert(I.Operand >= 0 && I.Operand < NumLocals);
+        Locals[static_cast<size_t>(I.Operand)] = popValue();
+        ++PC;
+        break;
+      case Opcode::Dup: {
+        assert(Top > StackBase && "dup on empty stack");
+        push(Slab[Top - 1]);
+        ++PC;
+        break;
+      }
+      case Opcode::Pop:
+        popValue();
+        ++PC;
+        break;
+      case Opcode::Swap: {
+        Value B = popValue();
+        Value A = popValue();
+        push(B);
+        push(A);
+        ++PC;
+        break;
+      }
+      // Arithmetic wraps modulo 2^64 (Java semantics); division by zero
+      // yields 0 and INT64_MIN / -1 wraps instead of trapping.
+      case Opcode::IAdd:
+        binaryInt([](int64_t A, int64_t B) {
+          return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                                      static_cast<uint64_t>(B));
+        });
+        break;
+      case Opcode::ISub:
+        binaryInt([](int64_t A, int64_t B) {
+          return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                                      static_cast<uint64_t>(B));
+        });
+        break;
+      case Opcode::IMul:
+        binaryInt([](int64_t A, int64_t B) {
+          return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                      static_cast<uint64_t>(B));
+        });
+        break;
+      case Opcode::IDiv:
+        binaryInt([](int64_t A, int64_t B) {
+          if (B == 0)
+            return static_cast<int64_t>(0);
+          if (A == INT64_MIN && B == -1)
+            return A;
+          return A / B;
+        });
+        break;
+      case Opcode::IRem:
+        binaryInt([](int64_t A, int64_t B) {
+          if (B == 0)
+            return static_cast<int64_t>(0);
+          if (A == INT64_MIN && B == -1)
+            return static_cast<int64_t>(0);
+          return A % B;
+        });
+        break;
+      case Opcode::IAnd:
+        binaryInt([](int64_t A, int64_t B) { return A & B; });
+        break;
+      case Opcode::IOr:
+        binaryInt([](int64_t A, int64_t B) { return A | B; });
+        break;
+      case Opcode::IXor:
+        binaryInt([](int64_t A, int64_t B) { return A ^ B; });
+        break;
+      case Opcode::IShl:
+        binaryInt([](int64_t A, int64_t B) {
+          return static_cast<int64_t>(static_cast<uint64_t>(A) << (B & 63));
+        });
+        break;
+      case Opcode::IShr:
+        binaryInt([](int64_t A, int64_t B) { return A >> (B & 63); });
+        break;
+      case Opcode::INeg: {
+        assert(Top > StackBase && "operand stack underflow");
+        Value &V = Slab[Top - 1];
+        V = Value::makeInt(
+            static_cast<int64_t>(0 - static_cast<uint64_t>(V.asInt())));
+        ++PC;
+        break;
+      }
+      case Opcode::ICmpEq: {
+        assert(Top - StackBase >= 2 && "operand stack underflow");
+        const Value B = Slab[Top - 1];
+        const Value A = Slab[Top - 2];
+        Slab[Top - 2] = Value::makeInt(A.equals(B) ? 1 : 0);
+        --Top;
+        ++PC;
+        break;
+      }
+      case Opcode::ICmpNe: {
+        assert(Top - StackBase >= 2 && "operand stack underflow");
+        const Value B = Slab[Top - 1];
+        const Value A = Slab[Top - 2];
+        Slab[Top - 2] = Value::makeInt(A.equals(B) ? 0 : 1);
+        --Top;
+        ++PC;
+        break;
+      }
+      case Opcode::ICmpLt:
+        binaryInt([](int64_t A, int64_t B) { return A < B ? 1 : 0; });
+        break;
+      case Opcode::ICmpLe:
+        binaryInt([](int64_t A, int64_t B) { return A <= B ? 1 : 0; });
+        break;
+      case Opcode::ICmpGt:
+        binaryInt([](int64_t A, int64_t B) { return A > B ? 1 : 0; });
+        break;
+      case Opcode::ICmpGe:
+        binaryInt([](int64_t A, int64_t B) { return A >= B ? 1 : 0; });
+        break;
+      case Opcode::Goto:
+        branchTo(I.Operand);
+        break;
+      case Opcode::IfZero: {
+        int64_t C = popInt();
+        if (C == 0)
+          branchTo(I.Operand);
+        else
+          ++PC;
+        break;
+      }
+      case Opcode::IfNonZero: {
+        int64_t C = popInt();
+        if (C != 0)
+          branchTo(I.Operand);
+        else
+          ++PC;
+        break;
+      }
+      case Opcode::IfNull: {
+        Value V = popValue();
+        if (V.isNull())
+          branchTo(I.Operand);
+        else
+          ++PC;
+        break;
+      }
+      case Opcode::IfNonNull: {
+        Value V = popValue();
+        if (!V.isNull())
+          branchTo(I.Operand);
+        else
+          ++PC;
+        break;
+      }
+      case Opcode::New: {
+        const Klass &K = P.klass(static_cast<ClassId>(I.Operand));
+        assert(K.isInstantiable() && "new of a non-instantiable class");
+        charge(Model.AllocBase + Model.AllocPerSlot * K.NumFields);
+        ++Counters.Allocations;
+        push(Value::makeRef(TheHeap.allocateObject(K.id(), K.NumFields)));
+        maybeCollectGarbage();
+        ++PC;
+        break;
+      }
+      case Opcode::GetField: {
+        Value R = popValue();
+        assert(R.isRef() && "getfield on non-reference");
+        HeapObject &Obj = TheHeap.object(R.asRef());
+        assert(static_cast<size_t>(I.Operand) < Obj.Slots.size());
+        push(Obj.Slots[static_cast<size_t>(I.Operand)]);
+        ++PC;
+        break;
+      }
+      case Opcode::PutField: {
+        Value V = popValue();
+        Value R = popValue();
+        assert(R.isRef() && "putfield on non-reference");
+        HeapObject &Obj = TheHeap.object(R.asRef());
+        assert(static_cast<size_t>(I.Operand) < Obj.Slots.size());
+        Obj.Slots[static_cast<size_t>(I.Operand)] = V;
+        ++PC;
+        break;
+      }
+      case Opcode::NewArray: {
+        int64_t Len = popInt();
+        if (Len < 0)
+          Len = 0;
+        charge(Model.AllocBase +
+               Model.AllocPerSlot * static_cast<uint64_t>(Len));
+        ++Counters.Allocations;
+        push(Value::makeRef(
+            TheHeap.allocateArray(static_cast<unsigned>(Len))));
+        maybeCollectGarbage();
+        ++PC;
+        break;
+      }
+      case Opcode::ArrayLoad: {
+        int64_t Index = popInt();
+        Value R = popValue();
+        assert(R.isRef() && "arrayload on non-reference");
+        HeapObject &Arr = TheHeap.object(R.asRef());
+        assert(Arr.IsArray && Index >= 0 &&
+               static_cast<size_t>(Index) < Arr.Slots.size());
+        push(Arr.Slots[static_cast<size_t>(Index)]);
+        ++PC;
+        break;
+      }
+      case Opcode::ArrayStore: {
+        Value V = popValue();
+        int64_t Index = popInt();
+        Value R = popValue();
+        assert(R.isRef() && "arraystore on non-reference");
+        HeapObject &Arr = TheHeap.object(R.asRef());
+        assert(Arr.IsArray && Index >= 0 &&
+               static_cast<size_t>(Index) < Arr.Slots.size());
+        Arr.Slots[static_cast<size_t>(Index)] = V;
+        ++PC;
+        break;
+      }
+      case Opcode::ArrayLength: {
+        Value R = popValue();
+        assert(R.isRef() && "arraylength on non-reference");
+        push(Value::makeInt(
+            static_cast<int64_t>(TheHeap.object(R.asRef()).Slots.size())));
+        ++PC;
+        break;
+      }
+      case Opcode::InstanceOf: {
+        Value R = popValue();
+        int64_t Result = 0;
+        if (R.isRef()) {
+          const HeapObject &Obj = TheHeap.object(R.asRef());
+          if (!Obj.IsArray)
+            Result = Hierarchy.isSubtypeOf(Obj.Klass,
+                                           static_cast<ClassId>(I.Operand))
+                         ? 1
+                         : 0;
+        }
+        push(Value::makeInt(Result));
+        ++PC;
+        break;
+      }
+      case Opcode::InvokeStatic:
+      case Opcode::InvokeVirtual:
+      case Opcode::InvokeInterface:
+      case Opcode::InvokeSpecial:
+        // handleCall reads the spilled PC (inline-cache key, plan lookup)
+        // and SlabTop (arguments), and may push a frame / resize the slab.
+        F.PC = PC;
+        T.SlabTop = Top;
+        handleCall(T, I);
+        Refresh = true;
+        break;
+      case Opcode::Return:
+        T.SlabTop = Top;
+        handleReturn(T, /*HasValue=*/false);
+        Refresh = true;
+        break;
+      case Opcode::ValueReturn:
+        T.SlabTop = Top;
+        handleReturn(T, /*HasValue=*/true);
+        Refresh = true;
+        break;
+      }
+    } while (!Refresh && Clock < StopClock && MaxInstr != 0);
 
-  switch (I.Op) {
-  case Opcode::Nop:
-  case Opcode::Work:
-    ++F.PC;
-    break;
-  case Opcode::IConst:
-    push(Value::makeInt(I.Operand));
-    ++F.PC;
-    break;
-  case Opcode::ConstNull:
-    push(Value::makeNull());
-    ++F.PC;
-    break;
-  case Opcode::LoadLocal:
-    assert(static_cast<size_t>(I.Operand) < F.Locals.size());
-    push(F.Locals[static_cast<size_t>(I.Operand)]);
-    ++F.PC;
-    break;
-  case Opcode::StoreLocal:
-    assert(static_cast<size_t>(I.Operand) < F.Locals.size());
-    F.Locals[static_cast<size_t>(I.Operand)] = popValue();
-    ++F.PC;
-    break;
-  case Opcode::Dup: {
-    assert(!F.Stack.empty());
-    push(F.Stack.back());
-    ++F.PC;
-    break;
-  }
-  case Opcode::Pop:
-    popValue();
-    ++F.PC;
-    break;
-  case Opcode::Swap: {
-    Value B = popValue();
-    Value A = popValue();
-    push(B);
-    push(A);
-    ++F.PC;
-    break;
-  }
-  // Arithmetic wraps modulo 2^64 (Java semantics); division by zero
-  // yields 0 and INT64_MIN / -1 wraps instead of trapping.
-  case Opcode::IAdd:
-    binaryInt([](int64_t A, int64_t B) {
-      return static_cast<int64_t>(static_cast<uint64_t>(A) +
-                                  static_cast<uint64_t>(B));
-    });
-    break;
-  case Opcode::ISub:
-    binaryInt([](int64_t A, int64_t B) {
-      return static_cast<int64_t>(static_cast<uint64_t>(A) -
-                                  static_cast<uint64_t>(B));
-    });
-    break;
-  case Opcode::IMul:
-    binaryInt([](int64_t A, int64_t B) {
-      return static_cast<int64_t>(static_cast<uint64_t>(A) *
-                                  static_cast<uint64_t>(B));
-    });
-    break;
-  case Opcode::IDiv:
-    binaryInt([](int64_t A, int64_t B) {
-      if (B == 0)
-        return static_cast<int64_t>(0);
-      if (A == INT64_MIN && B == -1)
-        return A;
-      return A / B;
-    });
-    break;
-  case Opcode::IRem:
-    binaryInt([](int64_t A, int64_t B) {
-      if (B == 0)
-        return static_cast<int64_t>(0);
-      if (A == INT64_MIN && B == -1)
-        return static_cast<int64_t>(0);
-      return A % B;
-    });
-    break;
-  case Opcode::IAnd:
-    binaryInt([](int64_t A, int64_t B) { return A & B; });
-    break;
-  case Opcode::IOr:
-    binaryInt([](int64_t A, int64_t B) { return A | B; });
-    break;
-  case Opcode::IXor:
-    binaryInt([](int64_t A, int64_t B) { return A ^ B; });
-    break;
-  case Opcode::IShl:
-    binaryInt([](int64_t A, int64_t B) {
-      return static_cast<int64_t>(static_cast<uint64_t>(A) << (B & 63));
-    });
-    break;
-  case Opcode::IShr:
-    binaryInt([](int64_t A, int64_t B) { return A >> (B & 63); });
-    break;
-  case Opcode::INeg: {
-    int64_t A = popInt();
-    push(Value::makeInt(
-        static_cast<int64_t>(0 - static_cast<uint64_t>(A))));
-    ++F.PC;
-    break;
-  }
-  case Opcode::ICmpEq: {
-    Value B = popValue();
-    Value A = popValue();
-    push(Value::makeInt(A.equals(B) ? 1 : 0));
-    ++F.PC;
-    break;
-  }
-  case Opcode::ICmpNe: {
-    Value B = popValue();
-    Value A = popValue();
-    push(Value::makeInt(A.equals(B) ? 0 : 1));
-    ++F.PC;
-    break;
-  }
-  case Opcode::ICmpLt:
-    binaryInt([](int64_t A, int64_t B) { return A < B ? 1 : 0; });
-    break;
-  case Opcode::ICmpLe:
-    binaryInt([](int64_t A, int64_t B) { return A <= B ? 1 : 0; });
-    break;
-  case Opcode::ICmpGt:
-    binaryInt([](int64_t A, int64_t B) { return A > B ? 1 : 0; });
-    break;
-  case Opcode::ICmpGe:
-    binaryInt([](int64_t A, int64_t B) { return A >= B ? 1 : 0; });
-    break;
-  case Opcode::Goto:
-    branchTo(I.Operand);
-    break;
-  case Opcode::IfZero: {
-    int64_t C = popInt();
-    if (C == 0)
-      branchTo(I.Operand);
-    else
-      ++F.PC;
-    break;
-  }
-  case Opcode::IfNonZero: {
-    int64_t C = popInt();
-    if (C != 0)
-      branchTo(I.Operand);
-    else
-      ++F.PC;
-    break;
-  }
-  case Opcode::IfNull: {
-    Value V = popValue();
-    if (V.isNull())
-      branchTo(I.Operand);
-    else
-      ++F.PC;
-    break;
-  }
-  case Opcode::IfNonNull: {
-    Value V = popValue();
-    if (!V.isNull())
-      branchTo(I.Operand);
-    else
-      ++F.PC;
-    break;
-  }
-  case Opcode::New: {
-    const Klass &K = P.klass(static_cast<ClassId>(I.Operand));
-    assert(K.isInstantiable() && "new of a non-instantiable class");
-    charge(Model.AllocBase + Model.AllocPerSlot * K.NumFields);
-    ++Counters.Allocations;
-    push(Value::makeRef(TheHeap.allocateObject(K.id(), K.NumFields)));
-    maybeCollectGarbage();
-    ++F.PC;
-    break;
-  }
-  case Opcode::GetField: {
-    Value R = popValue();
-    assert(R.isRef() && "getfield on non-reference");
-    HeapObject &Obj = TheHeap.object(R.asRef());
-    assert(static_cast<size_t>(I.Operand) < Obj.Slots.size());
-    push(Obj.Slots[static_cast<size_t>(I.Operand)]);
-    ++F.PC;
-    break;
-  }
-  case Opcode::PutField: {
-    Value V = popValue();
-    Value R = popValue();
-    assert(R.isRef() && "putfield on non-reference");
-    HeapObject &Obj = TheHeap.object(R.asRef());
-    assert(static_cast<size_t>(I.Operand) < Obj.Slots.size());
-    Obj.Slots[static_cast<size_t>(I.Operand)] = V;
-    ++F.PC;
-    break;
-  }
-  case Opcode::NewArray: {
-    int64_t Len = popInt();
-    if (Len < 0)
-      Len = 0;
-    charge(Model.AllocBase +
-           Model.AllocPerSlot * static_cast<uint64_t>(Len));
-    ++Counters.Allocations;
-    push(Value::makeRef(
-        TheHeap.allocateArray(static_cast<unsigned>(Len))));
-    maybeCollectGarbage();
-    ++F.PC;
-    break;
-  }
-  case Opcode::ArrayLoad: {
-    int64_t Index = popInt();
-    Value R = popValue();
-    assert(R.isRef() && "arrayload on non-reference");
-    HeapObject &Arr = TheHeap.object(R.asRef());
-    assert(Arr.IsArray && Index >= 0 &&
-           static_cast<size_t>(Index) < Arr.Slots.size());
-    push(Arr.Slots[static_cast<size_t>(Index)]);
-    ++F.PC;
-    break;
-  }
-  case Opcode::ArrayStore: {
-    Value V = popValue();
-    int64_t Index = popInt();
-    Value R = popValue();
-    assert(R.isRef() && "arraystore on non-reference");
-    HeapObject &Arr = TheHeap.object(R.asRef());
-    assert(Arr.IsArray && Index >= 0 &&
-           static_cast<size_t>(Index) < Arr.Slots.size());
-    Arr.Slots[static_cast<size_t>(Index)] = V;
-    ++F.PC;
-    break;
-  }
-  case Opcode::ArrayLength: {
-    Value R = popValue();
-    assert(R.isRef() && "arraylength on non-reference");
-    push(Value::makeInt(
-        static_cast<int64_t>(TheHeap.object(R.asRef()).Slots.size())));
-    ++F.PC;
-    break;
-  }
-  case Opcode::InstanceOf: {
-    Value R = popValue();
-    int64_t Result = 0;
-    if (R.isRef()) {
-      const HeapObject &Obj = TheHeap.object(R.asRef());
-      if (!Obj.IsArray)
-        Result = Hierarchy.isSubtypeOf(Obj.Klass,
-                                       static_cast<ClassId>(I.Operand))
-                     ? 1
-                     : 0;
+    if (!Refresh) {
+      // Left the inner loop on the clock or instruction budget: the cached
+      // state is authoritative, spill it for the next resume.
+      F.PC = PC;
+      T.SlabTop = Top;
+      return;
     }
-    push(Value::makeInt(Result));
-    ++F.PC;
-    break;
+    // Frame changed (call or return): loop around to re-derive the cached
+    // view. F may dangle here — do not touch it.
   }
-  case Opcode::InvokeStatic:
-  case Opcode::InvokeVirtual:
-  case Opcode::InvokeInterface:
-  case Opcode::InvokeSpecial:
-    handleCall(T, I);
-    break;
-  case Opcode::Return:
-    handleReturn(T, /*HasValue=*/false);
-    break;
-  case Opcode::ValueReturn:
-    handleReturn(T, /*HasValue=*/true);
-    break;
-  }
-
-  return !T.Finished;
 }
 
 std::vector<const Frame *> aoci::sourceStack(const ThreadState &T) {

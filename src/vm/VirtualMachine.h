@@ -38,7 +38,44 @@
 
 namespace aoci {
 
-/// One source-level activation record.
+/// Host-side interpreter metadata for one source method, built lazily at
+/// first frame entry. Everything here is a pure cache over immutable
+/// Program/CostModel state: it exists to make the host interpreter fast
+/// and must never change what the simulated clock or counters record
+/// (see DESIGN.md, "Host fast path vs. simulated clock").
+struct MethodHotData {
+  /// Raw pointer into the method's (stable) bytecode body; null until the
+  /// entry is built.
+  const Instruction *Body = nullptr;
+  uint32_t BodySize = 0;
+  uint16_t NumLocals = 0;
+  uint16_t NumArgSlots = 0;
+  /// Verifier-dataflow bound on the operand-stack depth. Frames reserve
+  /// NumLocals + MaxStack arena slots at entry, so stack pushes are plain
+  /// stores with no bounds check.
+  uint32_t MaxStack = 0;
+  /// Exact per-instruction cycle charge for one (OptLevel, Inlined) pair,
+  /// indexed [level * 2 + inlined][pc]; built on first use per pair. Each
+  /// entry is bit-identical to the machineSize * cyclesPerUnit (* scope
+  /// bonus) product the interpreter used to recompute per instruction.
+  std::vector<uint64_t> Cost[NumOptLevels * 2];
+  /// Monomorphic inline cache, indexed by invoke-site PC: the last
+  /// receiver class seen at the site and the resolveVirtual() target it
+  /// memoizes. Resolution is a pure function of (receiver class, override
+  /// root), so the cache can never change a dispatch outcome — only skip
+  /// the hierarchy walk. Allocated on the first virtual/interface call.
+  struct IcEntry {
+    ClassId Receiver = InvalidClassId;
+    MethodId Target = InvalidMethodId;
+  };
+  std::vector<IcEntry> InlineCaches;
+};
+
+/// One source-level activation record. Locals and operand stack live in
+/// the owning thread's value slab (ThreadState::Slab): locals occupy
+/// [LocalsBase, StackBase) and the operand stack grows from StackBase up
+/// to the thread's SlabTop while this frame is on top, so frame push/pop
+/// is a pointer bump instead of two heap allocations.
 struct Frame {
   /// The source method this frame executes.
   MethodId Method = InvalidMethodId;
@@ -52,19 +89,39 @@ struct Frame {
   /// Active inline decisions for call sites in this body; null when the
   /// body runs without an inline plan (baseline code, or nothing inlined).
   const InlineNode *PlanNode = nullptr;
+  /// Dispatch state cached at frame entry so the hot loop never re-derives
+  /// it per instruction: the body pointer, the per-PC cycle-charge table
+  /// for this frame's (variant level, inlined) pair, and the method's hot
+  /// data (inline caches, sizes).
+  const Instruction *Body = nullptr;
+  const uint64_t *Cost = nullptr;
+  MethodHotData *Hot = nullptr;
+  /// Arena offsets into ThreadState::Slab (see struct comment).
+  uint32_t LocalsBase = 0;
+  uint32_t StackBase = 0;
   /// True when this source frame was inlined into the frame below it.
   bool Inlined = false;
-  std::vector<Value> Locals;
-  std::vector<Value> Stack;
 };
 
 /// One green thread.
 struct ThreadState {
   unsigned Id = 0;
   std::vector<Frame> Frames;
+  /// The thread's value slab: every frame's locals and operand stack, laid
+  /// out contiguously in call order. Grows geometrically when a frame entry
+  /// needs more room and never shrinks during a run, so returned frames'
+  /// storage is reused by the next call without touching the allocator.
+  std::vector<Value> Slab;
+  /// One past the top frame's operand-stack top (the slab's live extent).
+  uint32_t SlabTop = 0;
   bool Finished = false;
   /// Entry method's return value when it returns one.
   Value Result;
+
+  /// Operand-stack depth of the top frame (test/diagnostic helper).
+  uint32_t stackDepth() const {
+    return Frames.empty() ? 0 : SlabTop - Frames.back().StackBase;
+  }
 };
 
 /// Execution counters exposed for tests and experiments.
@@ -140,17 +197,32 @@ public:
   const CodeVariant *ensureCompiled(MethodId M);
 
 private:
-  bool stepInstruction(ThreadState &T);
+  /// The interpreter's inner loop: executes thread \p T until it finishes,
+  /// the clock reaches \p StopClock, or \p MaxInstr instructions have run.
+  /// Hot frame state (PC, operand-stack top, body/cost/slab pointers) is
+  /// cached in locals and written back at frame transitions and sample
+  /// points, so straight-line bytecode never round-trips through memory.
+  void interpret(ThreadState &T, uint64_t StopClock, uint64_t MaxInstr);
   void handleCall(ThreadState &T, const Instruction &I);
   void handleReturn(ThreadState &T, bool HasValue);
   void enterPhysicalFrame(ThreadState &T, MethodId Callee,
                           const CodeVariant *Variant);
   void enterInlinedFrame(ThreadState &T, const InlineCase &Case);
-  void popArgsInto(Frame &Caller, Frame &Callee, unsigned ArgSlots);
+  /// Pushes a frame for \p Callee whose NumArgSlots arguments are the top
+  /// of the current operand stack (they become the callee's first locals
+  /// in place — no copy). Enforces Model.MaxFrameDepth.
+  void pushFrame(ThreadState &T, MethodId Callee, const CodeVariant *Variant,
+                 const InlineNode *Plan, bool Inlined);
+  /// Lazily-built hot data for \p M (see MethodHotData).
+  MethodHotData &hotData(MethodId M);
+  /// The per-PC charge table for (\p L, \p Inlined), building it on first
+  /// use with arithmetic bit-identical to the pre-table interpreter.
+  const uint64_t *costTable(MethodHotData &H, OptLevel L, bool Inlined);
+  [[noreturn]] void throwRecursionLimit(const ThreadState &T,
+                                        MethodId Callee) const;
   void charge(uint64_t Cycles) {
     Clock += Cycles;
   }
-  void chargeInstruction(const Frame &F, const Instruction &I);
   void maybeDeliverSample(ThreadState &T, bool AtPrologue);
   void maybeCollectGarbage();
 
@@ -163,6 +235,8 @@ private:
   ExecutionCounters Counters;
   SampleSink *Sink = nullptr;
   std::vector<std::unique_ptr<ThreadState>> Threads;
+  /// Per-method host-side caches, indexed by MethodId.
+  std::vector<MethodHotData> HotData;
   uint64_t Clock = 0;
   uint64_t NextSampleAt;
   /// Deterministic jitter for the sampling period. A perfectly periodic

@@ -119,7 +119,8 @@ std::unique_ptr<CodeVariant> variant(MethodId M, OptLevel Level,
 } // namespace
 
 TEST(CodeManagerTest, InstallTracksCurrentAndSerials) {
-  CodeManager CM(4);
+  FigureOneProgram F = makeFigureOne(1);
+  CodeManager CM(F.P);
   EXPECT_EQ(CM.current(2), nullptr);
   const CodeVariant *V0 = CM.install(variant(2, OptLevel::Baseline, 100, 10));
   EXPECT_EQ(CM.current(2), V0);
@@ -132,7 +133,8 @@ TEST(CodeManagerTest, InstallTracksCurrentAndSerials) {
 }
 
 TEST(CodeManagerTest, LedgersSeparateBaselineFromOpt) {
-  CodeManager CM(4);
+  FigureOneProgram F = makeFigureOne(1);
+  CodeManager CM(F.P);
   CM.install(variant(0, OptLevel::Baseline, 100, 10));
   CM.install(variant(1, OptLevel::Opt1, 200, 50));
   CM.install(variant(1, OptLevel::Opt2, 300, 70));
@@ -148,7 +150,8 @@ TEST(CodeManagerTest, LedgersSeparateBaselineFromOpt) {
 }
 
 TEST(CodeManagerTest, OldVariantsStayAliveAfterReplacement) {
-  CodeManager CM(1);
+  FigureOneProgram F = makeFigureOne(1);
+  CodeManager CM(F.P);
   const CodeVariant *Old = CM.install(variant(0, OptLevel::Opt1, 100, 10));
   CM.install(variant(0, OptLevel::Opt2, 200, 20));
   // Running activations keep raw pointers into replaced variants.
