@@ -7,9 +7,55 @@
 
 #include "core/AdaptiveSystem.h"
 
+#include "trace/TraceSink.h"
+
 #include <cassert>
 
 using namespace aoci;
+
+namespace {
+
+/// The organizer ids of organizer-wakeup events (exported as names by the
+/// JSON layer; see OBSERVABILITY.md).
+enum OrganizerId : int64_t {
+  OrgMethod = 0,
+  OrgAi = 1,
+  OrgDecay = 2,
+  OrgMissingEdge = 3,
+};
+
+/// Emits one organizer-wakeup event. \p Examined / \p Acted are the
+/// organizer-specific work item and outcome counts documented per
+/// organizer in OBSERVABILITY.md.
+void traceWakeup(TraceSink *Trace, AosComponent Component, uint64_t Cycle,
+                 int64_t Organizer, int64_t Wakeup, int64_t Examined,
+                 int64_t Acted) {
+  if (!Trace || !Trace->wants(TraceEventKind::OrganizerWakeup))
+    return;
+  TraceEvent &E = Trace->append(TraceEventKind::OrganizerWakeup,
+                                traceTrack(Component), Cycle);
+  E.A = Organizer;
+  E.B = Wakeup;
+  E.C = Examined;
+  E.D = Acted;
+}
+
+/// Emits one compile-request event as \p R enters the queue.
+void traceRequest(TraceSink *Trace, uint64_t Cycle,
+                  const CompilationRequest &R, bool FromMissingEdge,
+                  size_t QueueDepth) {
+  if (!Trace || !Trace->wants(TraceEventKind::CompileRequest))
+    return;
+  TraceEvent &E = Trace->append(TraceEventKind::CompileRequest,
+                                traceTrack(AosComponent::Controller), Cycle);
+  E.Method = R.M;
+  E.A = static_cast<int64_t>(R.Level);
+  E.B = R.ForceSameLevel ? 1 : 0;
+  E.C = FromMissingEdge ? 1 : 0;
+  E.D = static_cast<int64_t>(QueueDepth);
+}
+
+} // namespace
 
 AdaptiveSystem::AdaptiveSystem(VirtualMachine &VM, ContextPolicy &Policy,
                                AosSystemConfig Config)
@@ -31,13 +77,33 @@ void AdaptiveSystem::onSample(VirtualMachine &SampledVm, ThreadState &Thread,
   assert(&SampledVm == &VM && "system attached to a different VM");
   (void)SampledVm;
   ++Stats.SamplesSeen;
+  TraceSink *Trace = VM.traceSink();
+  const bool WantListener =
+      Trace && Trace->wants(TraceEventKind::ListenerRecord);
+  auto traceListenerRecord = [&](int64_t Listener, size_t Buffered) {
+    TraceEvent &E = Trace->append(TraceEventKind::ListenerRecord,
+                                  traceTrack(AosComponent::Listeners),
+                                  VM.cycles());
+    E.Method = Thread.Frames.back().Method;
+    E.A = Listener;
+    E.B = static_cast<int64_t>(Thread.Frames.size());
+    E.C = static_cast<int64_t>(Buffered);
+  };
 
   // Listeners record raw data into their buffers; a full buffer wakes the
   // owning organizer (Section 3.2).
-  if (MethodL.sample(VM, Thread))
+  const bool MethodFull = MethodL.sample(VM, Thread);
+  if (WantListener)
+    traceListenerRecord(/*Listener=*/0, MethodL.size());
+  if (MethodFull)
     methodOrganizerWakeup();
-  if (AtPrologue && TraceL.sample(VM, Thread))
-    dcgOrganizerWakeup();
+  if (AtPrologue) {
+    const bool TraceFull = TraceL.sample(VM, Thread);
+    if (WantListener)
+      traceListenerRecord(/*Listener=*/1, TraceL.size());
+    if (TraceFull)
+      dcgOrganizerWakeup();
+  }
 
   if (Config.DecayPeriodSamples &&
       Stats.SamplesSeen % Config.DecayPeriodSamples == 0)
@@ -51,6 +117,7 @@ void AdaptiveSystem::onSample(VirtualMachine &SampledVm, ThreadState &Thread,
 
 void AdaptiveSystem::methodOrganizerWakeup() {
   ++Stats.MethodOrganizerWakeups;
+  TraceSink *Trace = VM.traceSink();
   std::vector<MethodId> Samples = MethodL.drain();
   VM.chargeAos(AosComponent::MethodOrganizer,
                Config.OrganizerWakeupCost +
@@ -59,19 +126,26 @@ void AdaptiveSystem::methodOrganizerWakeup() {
   // The controller reads the organizer's event and applies the analytic
   // model.
   std::vector<CompilationRequest> Requests =
-      Ctrl.onMethodSamples(Samples, VM.codeManager());
+      Ctrl.onMethodSamples(Samples, VM.codeManager(), VM.cycles(), Trace);
   VM.chargeAos(AosComponent::Controller,
                Config.ControllerBatchCost +
                    Config.ControllerPerRequestCost * Requests.size());
+  traceWakeup(Trace, AosComponent::MethodOrganizer, VM.cycles(), OrgMethod,
+              static_cast<int64_t>(Stats.MethodOrganizerWakeups - 1),
+              static_cast<int64_t>(Samples.size()),
+              static_cast<int64_t>(Requests.size()));
   for (CompilationRequest &R : Requests) {
     ++Stats.ControllerRequests;
     CompileQueue.push_back(R);
+    traceRequest(Trace, VM.cycles(), R, /*FromMissingEdge=*/false,
+                 CompileQueue.size());
   }
 }
 
 void AdaptiveSystem::dcgOrganizerWakeup() {
   ++Stats.DcgOrganizerWakeups;
   std::vector<Trace> Traces = TraceL.drain();
+  const size_t NumTraces = Traces.size();
   VM.chargeAos(AosComponent::AiOrganizer,
                Config.OrganizerWakeupCost +
                    Config.DcgPerTraceCost * Traces.size());
@@ -90,6 +164,10 @@ void AdaptiveSystem::dcgOrganizerWakeup() {
   // The adaptive inlining organizer recodifies the rule set.
   size_t Scanned = AiOrg.rebuildRules(VM.program(), Dcg, VM.cycles(), Rules);
   VM.chargeAos(AosComponent::AiOrganizer, Config.AiPerScanCost * Scanned);
+  traceWakeup(VM.traceSink(), AosComponent::AiOrganizer, VM.cycles(), OrgAi,
+              static_cast<int64_t>(Stats.DcgOrganizerWakeups - 1),
+              static_cast<int64_t>(NumTraces),
+              static_cast<int64_t>(Rules.size()));
 }
 
 void AdaptiveSystem::decayWakeup() {
@@ -100,6 +178,9 @@ void AdaptiveSystem::decayWakeup() {
   VM.chargeAos(AosComponent::DecayOrganizer,
                Config.OrganizerWakeupCost +
                    Config.DecayPerEntryCost * Entries);
+  traceWakeup(VM.traceSink(), AosComponent::DecayOrganizer, VM.cycles(),
+              OrgDecay, static_cast<int64_t>(Stats.DecayWakeups - 1),
+              static_cast<int64_t>(Entries), /*Acted=*/0);
 }
 
 void AdaptiveSystem::missingEdgeWakeup() {
@@ -111,6 +192,8 @@ void AdaptiveSystem::missingEdgeWakeup() {
   VM.chargeAos(AosComponent::AiOrganizer,
                Config.OrganizerWakeupCost +
                    Config.MissingEdgePerMethodCost * Hot.size());
+  TraceSink *Sink = VM.traceSink();
+  int64_t Requested = 0;
   for (MethodId M : Missing) {
     if (!Ctrl.tryMarkInFlight(M))
       continue;
@@ -118,8 +201,14 @@ void AdaptiveSystem::missingEdgeWakeup() {
     assert(V && V->Level != OptLevel::Baseline &&
            "missing-edge candidates are optimized methods");
     ++Stats.MissingEdgeRequests;
+    ++Requested;
     CompileQueue.push_back(CompilationRequest{M, V->Level, true});
+    traceRequest(Sink, VM.cycles(), CompileQueue.back(),
+                 /*FromMissingEdge=*/true, CompileQueue.size());
   }
+  traceWakeup(Sink, AosComponent::AiOrganizer, VM.cycles(), OrgMissingEdge,
+              static_cast<int64_t>(Stats.MissingEdgeWakeups - 1),
+              static_cast<int64_t>(Hot.size()), Requested);
 }
 
 void AdaptiveSystem::processCompilationQueue() {

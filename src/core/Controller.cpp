@@ -7,12 +7,16 @@
 
 #include "core/Controller.h"
 
+#include "trace/TraceSink.h"
+#include "vm/Overhead.h"
+
 #include <algorithm>
 
 using namespace aoci;
 
 OptLevel Controller::chooseLevel(MethodId M, OptLevel Current,
-                                 double SampleCount) const {
+                                 double SampleCount,
+                                 DecisionDetail *Detail) const {
   const double FutureAtCurrent =
       SampleCount * static_cast<double>(Model.SamplePeriodCycles);
 
@@ -34,12 +38,17 @@ OptLevel Controller::chooseLevel(MethodId M, OptLevel Current,
       Best = Candidate;
     }
   }
+  if (Detail) {
+    Detail->FutureAtCurrent = FutureAtCurrent;
+    Detail->BestCost = BestCost;
+  }
   return Best;
 }
 
 std::vector<CompilationRequest>
 Controller::onMethodSamples(const std::vector<MethodId> &Samples,
-                            const CodeManager &Code) {
+                            const CodeManager &Code, uint64_t NowCycle,
+                            TraceSink *Trace) {
   std::vector<CompilationRequest> Requests;
 
   // Accumulate, remembering which methods this batch touched.
@@ -57,7 +66,19 @@ Controller::onMethodSamples(const std::vector<MethodId> &Samples,
     const CodeVariant *V = Code.current(M);
     if (!V)
       continue; // Never executed? Cannot be hot.
-    const OptLevel Target = chooseLevel(M, V->Level, SampleCounts[M]);
+    DecisionDetail Detail;
+    const OptLevel Target = chooseLevel(M, V->Level, SampleCounts[M], &Detail);
+    if (Trace && Trace->wants(TraceEventKind::ControllerDecision)) {
+      TraceEvent &E =
+          Trace->append(TraceEventKind::ControllerDecision,
+                        traceTrack(AosComponent::Controller), NowCycle);
+      E.Method = M;
+      E.A = static_cast<int64_t>(V->Level);
+      E.B = static_cast<int64_t>(Target);
+      E.X = SampleCounts[M];
+      E.Y = Detail.FutureAtCurrent;
+      E.Z = Detail.BestCost;
+    }
     if (Target == V->Level)
       continue;
     InFlight[M] = true;

@@ -29,6 +29,8 @@
 
 namespace aoci {
 
+class TraceSink;
+
 /// Controller tuning.
 struct ControllerConfig {
   /// Expected code growth from inlining, used to estimate compile cost
@@ -63,9 +65,13 @@ public:
   /// Feeds a drained method-sample batch; returns the recompilation
   /// requests the analytic model makes. A method is requested at most
   /// once until notifyInstalled() reports its compilation finished.
+  /// With \p Trace attached, every cost/benefit evaluation (including
+  /// "stay at the current level") emits a controller-decision event
+  /// stamped \p NowCycle with the model's inputs.
   std::vector<CompilationRequest>
   onMethodSamples(const std::vector<MethodId> &Samples,
-                  const CodeManager &Code);
+                  const CodeManager &Code, uint64_t NowCycle = 0,
+                  TraceSink *Trace = nullptr);
 
   /// Clears the in-flight marker after a variant for \p M is installed.
   void notifyInstalled(MethodId M);
@@ -88,9 +94,20 @@ public:
   const ControllerConfig &config() const { return Config; }
 
 private:
+  /// The cost/benefit inputs behind one chooseLevel() answer, exported on
+  /// controller-decision trace events.
+  struct DecisionDetail {
+    /// futureTime(cur) = S * samplePeriod.
+    double FutureAtCurrent = 0;
+    /// compileCost(best) + futureTime(best); equals FutureAtCurrent when
+    /// staying put wins.
+    double BestCost = 0;
+  };
+
   /// Analytic model: best level for \p M given its samples, or the
-  /// current level when staying put wins.
-  OptLevel chooseLevel(MethodId M, OptLevel Current, double SampleCount) const;
+  /// current level when staying put wins. Fills \p Detail when non-null.
+  OptLevel chooseLevel(MethodId M, OptLevel Current, double SampleCount,
+                       DecisionDetail *Detail = nullptr) const;
 
   const Program &P;
   const CostModel &Model;

@@ -10,6 +10,7 @@
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
+#include "trace/TraceJson.h"
 
 #include <cassert>
 #include <chrono>
@@ -22,6 +23,10 @@ using namespace aoci;
 RunResult aoci::runExperiment(const RunConfig &Config) {
   Workload W = makeWorkload(Config.WorkloadName, Config.Params);
   VirtualMachine VM(W.Prog, Config.Model);
+  // Attach the trace sink before the first addThread() so lazy baseline
+  // compilations of the entry methods are captured too.
+  if (Config.Trace)
+    VM.setTraceSink(Config.Trace);
   std::unique_ptr<ContextPolicy> Policy =
       makePolicy(Config.Policy, Config.MaxDepth);
   AdaptiveSystem Aos(VM, *Policy, Config.Aos);
@@ -101,13 +106,27 @@ uint64_t aoci::deriveRunSeed(const RunConfig &Config, unsigned Trial) {
 RunResult aoci::runBestOf(const RunConfig &Config, unsigned Trials) {
   assert(Trials >= 1 && "need at least one trial");
   RunResult Best;
+  // Each trial records into its own local sink; only the best trial's
+  // stream survives into the caller's sink, matching the best-of run
+  // the CSVs report.
+  TraceSink BestTrace;
   for (unsigned T = 0; T != Trials; ++T) {
     RunConfig Trial = Config;
     Trial.Model.SampleJitterSeed = deriveRunSeed(Config, T);
+    TraceSink TrialTrace;
+    if (Config.Trace) {
+      TrialTrace.enable(Config.Trace->kindMask());
+      TrialTrace.setCapacity(Config.Trace->capacity());
+      Trial.Trace = &TrialTrace;
+    }
     RunResult R = runExperiment(Trial);
-    if (T == 0 || R.WallCycles < Best.WallCycles)
+    if (T == 0 || R.WallCycles < Best.WallCycles) {
       Best = std::move(R);
+      BestTrace = std::move(TrialTrace);
+    }
   }
+  if (Config.Trace)
+    Config.Trace->adoptEvents(std::move(BestTrace));
   return Best;
 }
 
@@ -222,10 +241,36 @@ RunMetrics makeMetrics(const PlannedRun &Run, const RunResult &Result,
   return M;
 }
 
+/// Display name of one grid run's trace stream ("workload/policy.dN").
+std::string runTraceName(const PlannedRun &Run) {
+  if (Run.IsBaseline)
+    return Run.Config.WorkloadName + "/cins";
+  return Run.Config.WorkloadName + "/" +
+         policyKindName(Run.Config.Policy) + ".d" +
+         std::to_string(Run.Config.MaxDepth);
+}
+
+/// Builds one enabled per-run sink per planned run (the lock-free
+/// discipline: a sink is only ever appended to by the worker executing
+/// its run). Empty when the grid is not tracing.
+std::vector<TraceSink> planSinks(const GridConfig &Config,
+                                 std::vector<PlannedRun> &Plan) {
+  std::vector<TraceSink> Sinks;
+  if (!Config.Trace)
+    return Sinks;
+  Sinks.resize(Plan.size());
+  for (size_t I = 0; I != Plan.size(); ++I) {
+    Sinks[I].enable(Config.TraceKindMask);
+    Plan[I].Config.Trace = &Sinks[I];
+  }
+  return Sinks;
+}
+
 /// Folds executed runs (in plan order) into a GridResults.
 GridResults assembleGrid(std::vector<PlannedRun> &Plan,
                          std::vector<RunResult> &Runs,
-                         std::vector<RunMetrics> &Metrics) {
+                         std::vector<RunMetrics> &Metrics,
+                         std::vector<TraceSink> &Sinks) {
   GridResults Results;
   for (size_t I = 0; I != Plan.size(); ++I) {
     if (Plan[I].IsBaseline)
@@ -233,6 +278,8 @@ GridResults assembleGrid(std::vector<PlannedRun> &Plan,
     else
       Results.addCell(std::move(Runs[I]));
     Results.addMetrics(std::move(Metrics[I]));
+    if (!Sinks.empty())
+      Results.addTrace(std::move(Sinks[I]), runTraceName(Plan[I]));
   }
   return Results;
 }
@@ -252,6 +299,7 @@ aoci::runGrid(const GridConfig &Config,
   std::vector<PlannedRun> Plan = planGrid(Config);
   std::vector<RunResult> Runs(Plan.size());
   std::vector<RunMetrics> Metrics(Plan.size());
+  std::vector<TraceSink> Sinks = planSinks(Config, Plan);
   // The serial runner keeps its richer progress lines: by the time a
   // cell finishes its workload's baseline has too, so the line can
   // already report the relative quantities.
@@ -286,7 +334,7 @@ aoci::runGrid(const GridConfig &Config,
               .c_str()));
     }
   }
-  return assembleGrid(Plan, Runs, Metrics);
+  return assembleGrid(Plan, Runs, Metrics, Sinks);
 }
 
 GridResults aoci::runGridParallel(
@@ -299,6 +347,7 @@ GridResults aoci::runGridParallel(
   std::vector<PlannedRun> Plan = planGrid(Config);
   std::vector<RunResult> Runs(Plan.size());
   std::vector<RunMetrics> Metrics(Plan.size());
+  std::vector<TraceSink> Sinks = planSinks(Config, Plan);
   {
     ThreadPool Pool(Jobs);
     std::mutex ProgressMutex;
@@ -337,5 +386,14 @@ GridResults aoci::runGridParallel(
     for (std::future<void> &F : Futures)
       F.get();
   }
-  return assembleGrid(Plan, Runs, Metrics);
+  return assembleGrid(Plan, Runs, Metrics, Sinks);
+}
+
+void aoci::exportGridTrace(std::ostream &OS, const GridResults &Results) {
+  std::vector<TraceProcess> Procs;
+  Procs.reserve(Results.traces().size());
+  for (size_t I = 0; I != Results.traces().size(); ++I)
+    Procs.push_back(TraceProcess{&Results.traces()[I],
+                                 Results.traceNames()[I]});
+  writeChromeTrace(OS, Procs);
 }

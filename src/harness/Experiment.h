@@ -19,9 +19,11 @@
 
 #include "core/AdaptiveSystem.h"
 #include "profile/TraceStatistics.h"
+#include "trace/TraceSink.h"
 #include "workload/Workload.h"
 
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -40,6 +42,11 @@ struct RunConfig {
   CostModel Model;
   /// Enables the Section 4 chain instrumentation (uncharged tooling).
   bool CollectTraceStats = false;
+  /// Observability: when non-null, the run's VM records its event stream
+  /// into this sink (runBestOf keeps exactly the best trial's stream).
+  /// Emission charges zero simulated cycles, so results are identical
+  /// with or without a sink attached (see OBSERVABILITY.md).
+  TraceSink *Trace = nullptr;
 };
 
 /// Everything measured in one run.
@@ -137,6 +144,12 @@ struct GridConfig {
   AosSystemConfig Aos;
   /// Trials per cell, taking the fastest (the paper used 20).
   unsigned Trials = 1;
+  /// Observability: record every run's event stream (see traces() on
+  /// GridResults). Off by default; simulated results and the grid CSV
+  /// are byte-identical either way.
+  bool Trace = false;
+  /// Event kinds recorded when Trace is on (a parseTraceFilter() mask).
+  uint32_t TraceKindMask = TraceAllKinds;
 
   GridConfig();
 };
@@ -171,9 +184,20 @@ public:
   /// workload: baseline first, then policies x depths as configured).
   const std::vector<RunMetrics> &metrics() const { return Metrics; }
 
+  /// Per-run event streams in plan order, with their display names
+  /// ("workload/policy.dN"); empty unless the grid ran with
+  /// GridConfig::Trace. Plan order is independent of the job count,
+  /// which is what makes exportGridTrace() deterministic.
+  const std::vector<TraceSink> &traces() const { return Traces; }
+  const std::vector<std::string> &traceNames() const { return TraceNames; }
+
   void addBaseline(RunResult R);
   void addCell(RunResult R);
   void addMetrics(RunMetrics M) { Metrics.push_back(std::move(M)); }
+  void addTrace(TraceSink T, std::string Name) {
+    Traces.push_back(std::move(T));
+    TraceNames.push_back(std::move(Name));
+  }
 
 private:
   using CellKey = std::tuple<std::string, uint8_t, unsigned>;
@@ -181,6 +205,8 @@ private:
   std::map<std::string, RunResult> Baselines;
   std::map<CellKey, RunResult> Cells;
   std::vector<RunMetrics> Metrics;
+  std::vector<TraceSink> Traces;
+  std::vector<std::string> TraceNames;
 };
 
 /// Runs the whole sweep serially; \p Progress (if provided) is invoked
@@ -200,6 +226,13 @@ runGrid(const GridConfig &Config,
 GridResults runGridParallel(
     const GridConfig &Config, unsigned Jobs,
     const std::function<void(const std::string &)> &Progress = nullptr);
+
+/// Writes every traced grid run as one merged Chrome trace-event JSON
+/// object (one process per run, in plan order). Byte-deterministic: a
+/// serial sweep and a --jobs N sweep of the same grid produce identical
+/// output. No-op content ({"traceEvents":[]}-equivalent) when the grid
+/// ran without tracing.
+void exportGridTrace(std::ostream &OS, const GridResults &Results);
 
 } // namespace aoci
 

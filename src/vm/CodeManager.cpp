@@ -7,6 +7,9 @@
 
 #include "vm/CodeManager.h"
 
+#include "trace/TraceSink.h"
+#include "vm/Overhead.h"
+
 #include <cassert>
 
 using namespace aoci;
@@ -19,6 +22,39 @@ void indexNode(const Program &P, InlineNode &Node, MethodId Body) {
     for (InlineCase &Case : Decision.Cases)
       if (Case.Body)
         indexNode(P, *Case.Body, Case.Callee);
+}
+
+unsigned countSites(const InlineNode &Node) {
+  unsigned N = static_cast<unsigned>(Node.Sites.size());
+  for (const auto &Decision : Node.Sites)
+    for (const InlineCase &Case : Decision.Cases)
+      if (Case.Body)
+        N += countSites(*Case.Body);
+  return N;
+}
+
+/// Emits one plan-site event per decided call site, depth-first in site
+/// order — the per-site context-sensitivity verdicts of the installed
+/// plan.
+void emitPlanSites(TraceSink &Trace, const CodeVariant &V,
+                   const InlineNode &Node, unsigned Depth) {
+  for (const auto &Decision : Node.Sites) {
+    bool Guarded = false;
+    for (const InlineCase &Case : Decision.Cases)
+      Guarded |= Case.Guarded;
+    TraceEvent &E =
+        Trace.append(TraceEventKind::PlanSite,
+                     traceTrack(AosComponent::Compilation), V.CompiledAtCycle);
+    E.Method = V.M;
+    E.A = Decision.Site;
+    E.B = Depth;
+    E.C = static_cast<int64_t>(Decision.Cases.size());
+    E.D = Guarded ? 1 : 0;
+    E.E = Decision.Cases.empty() ? -1 : Decision.Cases.front().Callee;
+    for (const InlineCase &Case : Decision.Cases)
+      if (Case.Body)
+        emitPlanSites(Trace, V, *Case.Body, Depth + 1);
+  }
 }
 
 } // namespace
@@ -47,6 +83,37 @@ const CodeVariant *CodeManager::install(std::unique_ptr<CodeVariant> Variant) {
     OptCompileCyclesTotal += Ptr->CompileCycles;
   }
   ++NumCompiles[static_cast<unsigned>(Ptr->Level)];
+
+  if (Trace) {
+    const CodeVariant *Prev = Current[Ptr->M];
+    if (Trace->wants(TraceEventKind::CompileComplete)) {
+      // A duration event spanning the compile: it started CompileCycles
+      // before the installation-time clock value.
+      TraceEvent &E = Trace->append(TraceEventKind::CompileComplete,
+                                    traceTrack(AosComponent::Compilation),
+                                    Ptr->CompiledAtCycle - Ptr->CompileCycles);
+      E.Dur = Ptr->CompileCycles;
+      E.Method = Ptr->M;
+      E.A = static_cast<int64_t>(Ptr->Level);
+      E.B = static_cast<int64_t>(Ptr->CodeBytes);
+      E.C = static_cast<int64_t>(Ptr->CodeBytes) -
+            static_cast<int64_t>(Prev ? Prev->CodeBytes : 0);
+      E.D = Ptr->Plan.NumInlineBodies;
+      E.E = Ptr->Plan.NumGuards;
+    }
+    if (!Ptr->Plan.empty() && Trace->wants(TraceEventKind::PlanInstall)) {
+      TraceEvent &E = Trace->append(TraceEventKind::PlanInstall,
+                                    traceTrack(AosComponent::Compilation),
+                                    Ptr->CompiledAtCycle);
+      E.Method = Ptr->M;
+      E.A = static_cast<int64_t>(Ptr->Level);
+      E.B = countSites(Ptr->Plan.Root);
+      E.C = Ptr->Plan.NumInlineBodies;
+      E.D = Ptr->Plan.NumGuards;
+    }
+    if (!Ptr->Plan.empty() && Trace->wants(TraceEventKind::PlanSite))
+      emitPlanSites(*Trace, *Ptr, Ptr->Plan.Root, /*Depth=*/0);
+  }
 
   Current[Ptr->M] = Ptr;
   Variants.push_back(std::move(Variant));

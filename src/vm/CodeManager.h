@@ -23,6 +23,8 @@
 
 namespace aoci {
 
+class TraceSink;
+
 /// Registry of compiled code. Installation never frees the previous
 /// variant: running activations hold raw pointers into it.
 class CodeManager {
@@ -38,7 +40,13 @@ public:
 
   /// Installs \p Variant as the current code for its method and records
   /// its size/compile cost in the ledgers. Returns the stable pointer.
+  /// With a trace sink attached, emits the compile-complete /
+  /// plan-install / plan-site events for the variant.
   const CodeVariant *install(std::unique_ptr<CodeVariant> Variant);
+
+  /// Attaches the observability event sink (null detaches); normally
+  /// forwarded from VirtualMachine::setTraceSink.
+  void setTraceSink(TraceSink *T) { Trace = T; }
 
   /// Cumulative bytes of *optimized* machine code generated over the run
   /// (baseline code excluded), including code made obsolete by later
@@ -67,6 +75,7 @@ public:
 
 private:
   const Program &P;
+  TraceSink *Trace = nullptr;
   std::vector<std::unique_ptr<CodeVariant>> Variants;
   std::vector<const CodeVariant *> Current;
   uint64_t OptBytesGenerated = 0;

@@ -17,6 +17,8 @@
 #ifndef AOCI_VM_OVERHEAD_H
 #define AOCI_VM_OVERHEAD_H
 
+#include "trace/TraceEvent.h"
+
 #include <cstdint>
 
 namespace aoci {
@@ -50,6 +52,12 @@ inline const char *aosComponentName(AosComponent C) {
     return "ControllerThread";
   }
   return "<invalid>";
+}
+
+/// The trace timeline for AOS component \p C (track 0 is the VM itself),
+/// so Figure 6's breakdown renders as per-component Perfetto tracks.
+constexpr TraceTrack traceTrack(AosComponent C) {
+  return static_cast<TraceTrack>(1 + static_cast<unsigned>(C));
 }
 
 /// Cycle meter per AOS component.

@@ -8,6 +8,7 @@
 #include "vm/VirtualMachine.h"
 
 #include "bytecode/Verifier.h"
+#include "trace/TraceSink.h"
 
 #include <algorithm>
 #include <cassert>
@@ -24,6 +25,18 @@ VirtualMachine::VirtualMachine(const Program &P, CostModel Model)
 #ifndef NDEBUG
   assert(verifyProgram(P).empty() && "program failed verification");
 #endif
+}
+
+void VirtualMachine::setTraceSink(TraceSink *T) {
+  Trace = T;
+  Code.setTraceSink(T);
+  // Snapshot the name table so exports can render qualified names after
+  // this VM (and its Program) are gone.
+  if (T)
+    T->captureMethodNames(static_cast<uint32_t>(P.numMethods()),
+                          [this](uint32_t M) {
+                            return P.qualifiedName(static_cast<MethodId>(M));
+                          });
 }
 
 MethodHotData &VirtualMachine::hotData(MethodId M) {
@@ -170,6 +183,13 @@ void VirtualMachine::maybeDeliverSample(ThreadState &T, bool AtPrologue) {
   ++Counters.SamplesTaken;
   if (AtPrologue)
     ++Counters.PrologueSamples;
+  if (Trace && Trace->wants(TraceEventKind::Sample)) {
+    TraceEvent &E = Trace->append(TraceEventKind::Sample, TraceTrackVm, Clock);
+    E.Thread = T.Id;
+    E.Method = T.Frames.back().Method;
+    E.A = AtPrologue ? 1 : 0;
+    E.B = static_cast<int64_t>(Counters.SamplesTaken - 1);
+  }
   if (Sink)
     Sink->onSample(*this, T, AtPrologue);
 }
@@ -179,9 +199,17 @@ void VirtualMachine::maybeCollectGarbage() {
     return;
   uint64_t Pause = Model.GcPauseBase +
                    Model.GcPausePerKilobyte * (TheHeap.bytesSinceGc() / 1024);
+  const uint64_t PauseStart = Clock;
   charge(Pause);
   ++Counters.GcPauses;
   Counters.GcCycles += Pause;
+  if (Trace && Trace->wants(TraceEventKind::GcPause)) {
+    TraceEvent &E =
+        Trace->append(TraceEventKind::GcPause, TraceTrackVm, PauseStart);
+    E.Dur = Pause;
+    E.A = static_cast<int64_t>(TheHeap.bytesSinceGc());
+    E.B = static_cast<int64_t>(Counters.GcPauses - 1);
+  }
   TheHeap.noteCollection();
 }
 
@@ -256,6 +284,14 @@ void VirtualMachine::handleCall(ThreadState &T, const Instruction &I) {
       // Every guard failed: fall back to the virtual invocation the
       // compiler left behind (Section 5's "fallback virtual invocation").
       ++Counters.GuardFallbacks;
+      if (Trace && Trace->wants(TraceEventKind::GuardFallback)) {
+        TraceEvent &E =
+            Trace->append(TraceEventKind::GuardFallback, TraceTrackVm, Clock);
+        E.Thread = T.Id;
+        E.Method = F.Method;
+        E.A = F.PC;
+        E.B = Target;
+      }
     }
   }
 

@@ -38,6 +38,8 @@
 
 namespace aoci {
 
+class TraceSink;
+
 /// Host-side interpreter metadata for one source method, built lazily at
 /// first frame entry. Everything here is a pure cache over immutable
 /// Program/CostModel state: it exists to make the host interpreter fast
@@ -149,6 +151,13 @@ public:
   /// without any profiling).
   void setSampleSink(SampleSink *Sink) { this->Sink = Sink; }
 
+  /// Attaches the observability event sink (null detaches). Captures the
+  /// program's method names into the sink and forwards it to the code
+  /// manager. Emission charges zero simulated cycles — see
+  /// OBSERVABILITY.md's overhead guarantees.
+  void setTraceSink(TraceSink *T);
+  TraceSink *traceSink() const { return Trace; }
+
   /// Creates a green thread that will execute static no-arg method
   /// \p Entry. Returns the thread id.
   unsigned addThread(MethodId Entry);
@@ -234,6 +243,7 @@ private:
   OverheadMeter Meter;
   ExecutionCounters Counters;
   SampleSink *Sink = nullptr;
+  TraceSink *Trace = nullptr;
   std::vector<std::unique_ptr<ThreadState>> Threads;
   /// Per-method host-side caches, indexed by MethodId.
   std::vector<MethodHotData> HotData;

@@ -12,7 +12,11 @@
 //   aoci grid [--workloads a,b] [--policies p,q] [--depths 2,3]
 //             [--scale X] [--trials N] [--jobs N] [--csv FILE]
 //             [--metrics-csv FILE] [--metrics]
+//             [--trace-out FILE] [--trace-filter kinds]
 //             [--report fig4|fig5|fig6|compile|summary|all]
+//   aoci trace <workload> [--trace-out FILE] [--trace-filter kinds]
+//              [--policy P] [--depth N] [--scale X] [--seed N]
+//              [--trials N] [--max-events N]
 //   aoci disasm <workload> [method-qualified-name]
 //
 //===----------------------------------------------------------------------===//
@@ -24,11 +28,13 @@
 #include "opt/PlanPrinter.h"
 #include "profile/ProfileIo.h"
 #include "support/StringUtils.h"
+#include "trace/TraceJson.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 using namespace aoci;
@@ -47,10 +53,17 @@ int usage() {
       "  aoci grid [--workloads a,b] [--policies p,q] [--depths 2,3]\n"
       "            [--scale X] [--trials N] [--jobs N] [--csv FILE]\n"
       "            [--metrics-csv FILE] [--metrics]\n"
+      "            [--trace-out FILE] [--trace-filter kinds]\n"
       "            [--report fig4|fig5|fig6|compile|summary|all]\n"
+      "  aoci trace <workload> [--trace-out FILE] [--trace-filter kinds]\n"
+      "             [--policy P] [--depth N] [--scale X] [--seed N]\n"
+      "             [--trials N] [--max-events N]\n"
       "  aoci disasm <workload> [method]\n"
       "policies: cins fixed paramLess class large hybrid1 hybrid2 "
-      "imprecision\n");
+      "imprecision\n"
+      "trace kinds: comma-separated event names (see OBSERVABILITY.md), "
+      "e.g.\n"
+      "  --trace-filter sample,controller-decision,compile-complete\n");
   return 1;
 }
 
@@ -257,10 +270,105 @@ int cmdRun(int Argc, char **Argv) {
   return 0;
 }
 
+int cmdTrace(int Argc, char **Argv) {
+  RunConfig Config;
+  Config.WorkloadName.clear();
+  std::string TraceOut, Filter;
+  unsigned Trials = 1;
+  uint64_t MaxEvents = 0;
+
+  // Flags and the workload operand may come in any order:
+  //   aoci trace --trace-out t.json compress
+  //   aoci trace compress --trace-filter sample
+  Args A{Argc, Argv};
+  while (!A.done()) {
+    std::string Value;
+    if (A.flag("--trace-out", Value)) {
+      TraceOut = Value;
+    } else if (A.flag("--trace-filter", Value)) {
+      Filter = Value;
+    } else if (A.flag("--policy", Value)) {
+      if (!parsePolicy(Value, Config.Policy)) {
+        std::fprintf(stderr, "unknown policy '%s'\n", Value.c_str());
+        return 1;
+      }
+      if (Config.MaxDepth == 1 &&
+          Config.Policy != PolicyKind::ContextInsensitive)
+        Config.MaxDepth = 4;
+    } else if (A.flag("--depth", Value)) {
+      Config.MaxDepth = static_cast<unsigned>(std::atoi(Value.c_str()));
+    } else if (A.flag("--scale", Value)) {
+      Config.Params.Scale = std::atof(Value.c_str());
+    } else if (A.flag("--seed", Value)) {
+      Config.Params.Seed = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (A.flag("--trials", Value)) {
+      Trials = static_cast<unsigned>(std::atoi(Value.c_str()));
+    } else if (A.flag("--max-events", Value)) {
+      MaxEvents = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Argv[A.Pos][0] != '-' && Config.WorkloadName.empty()) {
+      Config.WorkloadName = Argv[A.Pos++];
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Argv[A.Pos]);
+      return usage();
+    }
+  }
+  if (Config.WorkloadName.empty()) {
+    std::fprintf(stderr, "trace: missing workload operand\n");
+    return usage();
+  }
+  bool Known = false;
+  for (const std::string &Name : workloadNames())
+    Known |= Name == Config.WorkloadName;
+  if (!Known) {
+    std::fprintf(stderr, "unknown workload '%s'\n",
+                 Config.WorkloadName.c_str());
+    return 1;
+  }
+
+  uint32_t Mask = TraceAllKinds;
+  std::string Error;
+  if (!parseTraceFilter(Filter, Mask, Error)) {
+    std::fprintf(stderr, "trace: %s\n", Error.c_str());
+    return 1;
+  }
+
+  TraceSink Sink;
+  Sink.enable(Mask);
+  Sink.setCapacity(MaxEvents);
+  Config.Trace = &Sink;
+  RunResult R = runBestOf(Config, Trials < 1 ? 1 : Trials);
+
+  const std::string ProcessName =
+      Config.Policy == PolicyKind::ContextInsensitive
+          ? Config.WorkloadName + "/cins"
+          : Config.WorkloadName + "/" + policyKindName(Config.Policy) +
+                ".d" + std::to_string(Config.MaxDepth);
+  std::fprintf(stderr,
+               "%s: %llu cycles, %llu events recorded (%llu dropped)\n",
+               ProcessName.c_str(),
+               static_cast<unsigned long long>(R.WallCycles),
+               static_cast<unsigned long long>(Sink.numEvents()),
+               static_cast<unsigned long long>(Sink.droppedEvents()));
+
+  if (TraceOut.empty()) {
+    writeChromeTrace(std::cout, Sink, ProcessName);
+    return 0;
+  }
+  std::ofstream Out(TraceOut, std::ios::binary);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write '%s'\n", TraceOut.c_str());
+    return 1;
+  }
+  writeChromeTrace(Out, Sink, ProcessName);
+  std::fprintf(stderr, "trace written to %s (load it at ui.perfetto.dev)\n",
+               TraceOut.c_str());
+  return 0;
+}
+
 int cmdGrid(int Argc, char **Argv) {
   GridConfig Config;
   std::string Report = "all";
-  std::string Csv, MetricsCsv;
+  std::string Csv, MetricsCsv, TraceOut, TraceFilter;
   // 0 lets runGridParallel pick hardware_concurrency. Results are
   // byte-identical for every job count; see DESIGN.md.
   unsigned Jobs = 0;
@@ -298,11 +406,24 @@ int cmdGrid(int Argc, char **Argv) {
       MetricsCsv = Value;
     } else if (A.boolFlag("--metrics")) {
       ShowMetrics = true;
+    } else if (A.flag("--trace-out", Value)) {
+      TraceOut = Value;
+    } else if (A.flag("--trace-filter", Value)) {
+      TraceFilter = Value;
     } else if (A.flag("--report", Value)) {
       Report = Value;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", Argv[A.Pos]);
       return usage();
+    }
+  }
+
+  if (!TraceOut.empty() || !TraceFilter.empty()) {
+    Config.Trace = true;
+    std::string Error;
+    if (!parseTraceFilter(TraceFilter, Config.TraceKindMask, Error)) {
+      std::fprintf(stderr, "grid: %s\n", Error.c_str());
+      return 1;
     }
   }
 
@@ -351,6 +472,16 @@ int cmdGrid(int Argc, char **Argv) {
     std::fprintf(stderr, "metrics csv written to %s\n",
                  MetricsCsv.c_str());
   }
+  if (!TraceOut.empty()) {
+    std::ofstream Out(TraceOut, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", TraceOut.c_str());
+      return 1;
+    }
+    exportGridTrace(Out, Results);
+    std::fprintf(stderr, "trace written to %s (load it at ui.perfetto.dev)\n",
+                 TraceOut.c_str());
+  }
   return 0;
 }
 
@@ -385,6 +516,8 @@ int main(int Argc, char **Argv) {
     return cmdRun(Argc, Argv);
   if (Command == "grid")
     return cmdGrid(Argc, Argv);
+  if (Command == "trace")
+    return cmdTrace(Argc, Argv);
   if (Command == "disasm")
     return cmdDisasm(Argc, Argv);
   return usage();

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Checks every relative link in the repo's markdown files.
+
+CI's docs job runs this so OBSERVABILITY.md, README.md, DESIGN.md, and
+friends cannot drift from the files they point at. Stdlib only.
+
+Usage: python3 tools/check_md_links.py [repo-root]
+Exits 0 when every relative link target exists, 1 otherwise (listing
+each broken link as file:line).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links [text](target) and images ![alt](target); reference-style
+# definitions [label]: target.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(text):
+    """Yields (line_number, target) for every link outside code fences."""
+    in_fence = False
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Strip inline code spans so `[x](y)` examples are not links.
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for match in INLINE_LINK.finditer(stripped):
+            yield line_no, match.group(1)
+        ref = REF_DEF.match(stripped)
+        if ref:
+            yield line_no, ref.group(1)
+
+
+def main():
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    md_files = sorted(
+        p for p in root.rglob("*.md")
+        if not any(part.startswith((".git", "build")) for part in p.parts)
+    )
+    broken = []
+    checked = 0
+    for md in md_files:
+        for line_no, target in iter_links(md.read_text(encoding="utf-8")):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            checked += 1
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(root)}:{line_no}: {target}")
+    if broken:
+        print("broken markdown links:")
+        print("\n".join(broken))
+        return 1
+    print(f"ok: {checked} relative links across {len(md_files)} "
+          "markdown files all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

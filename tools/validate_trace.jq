@@ -1,0 +1,143 @@
+# tools/validate_trace.jq — validates an AOCI Chrome trace-event export
+# against the contract in docs/trace-event.schema.json, using nothing but
+# jq (≥1.6). CI runs this over a freshly emitted trace; run it locally as
+#
+#   jq -e -f tools/validate_trace.jq trace.json
+#
+# Prints a one-line summary on success; raises an error listing every
+# violation (with event indices) otherwise.
+
+# Per-kind contract: the tracks the kind may render on and the required /
+# optional named args with their JSON types. Mirrors writeArgs() in
+# src/trace/TraceJson.cpp and the field tables in OBSERVABILITY.md.
+def typespec:
+  {
+    "sample": {
+      tids: [0],
+      req: {method: "string", atPrologue: "boolean",
+            sampleIndex: "number", thread: "number"}
+    },
+    "listener-record": {
+      tids: [1],
+      req: {method: "string", listener: "string",
+            depth: "number", buffered: "number"}
+    },
+    "organizer-wakeup": {
+      tids: [3, 4, 5],
+      req: {organizer: "string", wakeup: "number",
+            examined: "number", acted: "number"}
+    },
+    "controller-decision": {
+      tids: [6],
+      req: {method: "string", curLevel: "number", chosenLevel: "number",
+            samples: "number", futureAtCurrent: "number",
+            bestCost: "number"}
+    },
+    "compile-request": {
+      tids: [6],
+      req: {method: "string", level: "number", sameLevel: "boolean",
+            origin: "string", queueDepth: "number"}
+    },
+    "compile-complete": {
+      tids: [2],
+      req: {method: "string", level: "number", codeBytes: "number",
+            sizeDelta: "number", bodies: "number", guards: "number"}
+    },
+    "plan-install": {
+      tids: [2],
+      req: {method: "string", level: "number", sites: "number",
+            bodies: "number", guards: "number"}
+    },
+    "plan-site": {
+      tids: [2],
+      req: {root: "string", site: "number", depth: "number",
+            verdict: "string", cases: "number"},
+      opt: {callee: "string"}
+    },
+    "guard-fallback": {
+      tids: [0],
+      req: {method: "string", site: "number", target: "string",
+            thread: "number"}
+    },
+    "gc-pause": {
+      tids: [0],
+      req: {bytesSinceGc: "number", pauseIndex: "number"}
+    }
+  };
+
+# Enumerated string args (schema `enum`s).
+def enumspec:
+  {
+    "listener-record": {listener: ["method", "trace"]},
+    "organizer-wakeup": {organizer: ["method-organizer", "ai-organizer",
+                                     "decay-organizer", "missing-edge"]},
+    "compile-request": {origin: ["controller", "missing-edge"]},
+    "plan-site": {verdict: ["unguarded", "guarded-mono", "guarded-poly"]}
+  };
+
+def check_args($i; $name; $args):
+  typespec[$name] as $spec
+  | ($spec.req + ($spec.opt // {})) as $all
+  | ( $spec.req | to_entries[]
+      | select(($args[.key] | type) != .value)
+      | "event \($i) (\($name)): arg '\(.key)' missing or not \(.value)" ),
+    ( ($args | keys[]) as $k | select(($all | has($k)) | not)
+      | "event \($i) (\($name)): unexpected arg '\($k)'" ),
+    ( ((enumspec[$name] // {}) | to_entries[]) as $en
+      | ($args[$en.key]) as $v
+      | select(($v != null) and (($en.value | index($v)) == null))
+      | "event \($i) (\($name)): arg '\($en.key)' is '\($v)', not one of \($en.value | join("/"))" );
+
+def check_event($i):
+  . as $e
+  | if $e.ph == "M" then
+      ( select((($e.name == "process_name" or $e.name == "thread_name")) | not)
+        | "event \($i): metadata name '\($e.name)' unknown" ),
+      ( select(($e.args.name | type) != "string")
+        | "event \($i): metadata without string args.name" )
+    elif $e.ph == "i" or $e.ph == "X" then
+      typespec as $spec
+      | if (($spec | has($e.name)) | not) then
+          "event \($i): unknown event kind '\($e.name)'"
+        else
+          ( select(($e.pid | type) != "number" or $e.pid < 0)
+            | "event \($i): bad pid" ),
+          ( select(($spec[$e.name].tids | index($e.tid)) == null)
+            | "event \($i) (\($e.name)): unexpected tid \($e.tid)" ),
+          ( select(($e.ts | type) != "number" or $e.ts < 0)
+            | "event \($i): bad ts" ),
+          ( select($e.ph == "i" and $e.s != "t")
+            | "event \($i): instant without thread scope s=\"t\"" ),
+          ( select($e.ph == "i" and ($e | has("dur")))
+            | "event \($i): instant with dur" ),
+          ( select($e.ph == "X" and (($e.dur | type) != "number" or $e.dur < 1))
+            | "event \($i): duration event without positive dur" ),
+          check_args($i; $e.name; $e.args)
+        end
+    else
+      "event \($i): unknown ph '\($e.ph)'"
+    end;
+
+# Within each process, data events must be sorted by ts (the (cycle, seq)
+# stable sort the exporter promises).
+def check_order:
+  . as $root
+  | ([.traceEvents[] | select(.ph != "M") | .pid] | unique[]) as $p
+  | [$root.traceEvents[] | select(.ph != "M" and .pid == $p) | .ts] as $ts
+  | range(1; $ts | length)
+  | select($ts[.] < $ts[. - 1])
+  | "pid \($p): ts not monotonically non-decreasing at data event \(.)";
+
+( if type != "object" then ["root is not an object"]
+  elif .displayTimeUnit != "ns" then ["displayTimeUnit is not \"ns\""]
+  elif (.traceEvents | type) != "array" then ["traceEvents is not an array"]
+  else
+    [ (.traceEvents | to_entries[] | .key as $i | .value | check_event($i)),
+      check_order ]
+  end
+) as $errors
+| if $errors == [] then
+    "ok: \(.traceEvents | length) events validate against the trace schema"
+  else
+    error("trace schema violations:\n" + ($errors | join("\n")))
+  end
