@@ -11,12 +11,18 @@
 //  2. the decay organizer on/off — phase adaptivity (jbb shifts phases
 //     mid-run);
 //  3. the inline-aware stack walk of Section 3.3 vs the naive
-//     physical-frame walk — how much misattributed traces cost.
+//     physical-frame walk — how much misattributed traces cost;
+//  4. the OSR subsystem (src/osr/) on/off, on the loop-dominated pair
+//     (compress, mpegaudio) — how much transferring long-running
+//     activations shortens time-to-steady-state, i.e. the stretch of the
+//     run still executing in superseded code after its replacement was
+//     compiled.
 //
 //===----------------------------------------------------------------------===//
 
 #include "harness/Experiment.h"
 #include "support/StringUtils.h"
+#include "trace/TraceSink.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +62,62 @@ void printRow(const char *Label, const RunResult &R,
                   100.0)
                   .c_str(),
               static_cast<unsigned long long>(R.GuardFallbacks));
+}
+
+/// Clock cycle when the last optimizing compilation finished — the point
+/// after which the *code* is steady. With OSR off, activations already
+/// live in superseded variants keep running stale code past this point;
+/// with OSR on they transfer at their next backedge, so the gap between
+/// this cycle and the end of the run is served by current code.
+uint64_t lastCompileCycle(const TraceSink &Sink) {
+  uint64_t Last = 0;
+  Sink.forEach([&](const TraceEvent &E) {
+    if (E.Cycle + E.Dur > Last)
+      Last = E.Cycle + E.Dur;
+  });
+  return Last;
+}
+
+void ablateOsr(double Scale) {
+  for (const char *W : {"compress", "mpegaudio"}) {
+    std::printf("== %s (fixed, max depth 3; OSR ablation) ==\n", W);
+    RunResult Results[2];
+    uint64_t SteadyAt[2] = {0, 0};
+    for (int On = 0; On != 2; ++On) {
+      TraceSink Sink;
+      Sink.enable(traceKindBit(TraceEventKind::CompileComplete));
+      Results[On] = runWith(W, Scale, [&](RunConfig &C) {
+        C.Aos.Osr.Enabled = On != 0;
+        C.Trace = &Sink;
+      });
+      SteadyAt[On] = lastCompileCycle(Sink);
+    }
+    const RunResult &Off = Results[0], &On = Results[1];
+    // Cycles spent after the last compile: the tail both configurations
+    // run in steady code shape — OSR shrinks the total by moving live
+    // activations into that shape instead of waiting for re-invocation.
+    std::printf("  %-24s wall %12llu  post-compile tail %12llu\n", "osr off",
+                static_cast<unsigned long long>(Off.WallCycles),
+                static_cast<unsigned long long>(Off.WallCycles - SteadyAt[0]));
+    std::printf("  %-24s wall %12llu  post-compile tail %12llu\n", "osr on",
+                static_cast<unsigned long long>(On.WallCycles),
+                static_cast<unsigned long long>(On.WallCycles - SteadyAt[1]));
+    std::printf("  %-24s %s wall (%lld cycles); %llu osr entries, %llu "
+                "deopts, %llu transition cycles, ~%llu recovered\n",
+                "delta",
+                formatPercent((static_cast<double>(Off.WallCycles) /
+                                   static_cast<double>(On.WallCycles) -
+                               1.0) *
+                              100.0)
+                    .c_str(),
+                static_cast<long long>(Off.WallCycles) -
+                    static_cast<long long>(On.WallCycles),
+                static_cast<unsigned long long>(On.OsrEntries),
+                static_cast<unsigned long long>(On.Deopts),
+                static_cast<unsigned long long>(On.OsrTransitionCycles),
+                static_cast<unsigned long long>(On.OsrCyclesRecovered));
+    std::printf("\n");
+  }
 }
 
 } // namespace
@@ -99,5 +161,7 @@ int main() {
     }
     std::printf("\n");
   }
+
+  ablateOsr(Scale);
   return 0;
 }

@@ -64,7 +64,16 @@ AdaptiveSystem::AdaptiveSystem(VirtualMachine &VM, ContextPolicy &Policy,
       TraceL(Policy, Config.TraceBufferCapacity, Config.InlineAwareWalk),
       AiOrg(Config.Ai),
       Ctrl(VM.program(), VM.costModel(), Config.ControllerCfg),
-      Compiler(VM.program(), VM.hierarchy(), VM.costModel()) {}
+      Compiler(VM.program(), VM.hierarchy(), VM.costModel()),
+      OsrMgr(Config.Osr) {
+  // The OSR gate is the controller's analytic model; the indirection
+  // keeps src/osr/ independent of the core layer.
+  OsrMgr.setPolicy([this](MethodId M, const CodeVariant &From,
+                          const CodeVariant &To, uint64_t TransitionCycles,
+                          double *Savings) {
+    return Ctrl.worthOsr(M, From, To, TransitionCycles, Savings);
+  });
+}
 
 void AdaptiveSystem::seedProfile(const DynamicCallGraph &Training) {
   Training.forEach(

@@ -27,6 +27,7 @@
 #include "core/Controller.h"
 #include "core/Organizers.h"
 #include "opt/Compiler.h"
+#include "osr/OsrManager.h"
 #include "profile/Listeners.h"
 #include "vm/VirtualMachine.h"
 
@@ -71,6 +72,11 @@ struct AosSystemConfig {
   /// Section 3.3 stack walk: true = inline-aware source-level walk;
   /// false = the naive physical-frame walk (ablation only).
   bool InlineAwareWalk = true;
+
+  /// On-stack replacement / deoptimization switches (src/osr/). Disabled
+  /// by default: installs then affect future invocations only, as in the
+  /// paper's Jikes RVM baseline.
+  OsrConfig Osr;
 };
 
 /// Aggregate activity counters, for tests and experiment reports.
@@ -95,8 +101,14 @@ public:
   AdaptiveSystem(VirtualMachine &VM, ContextPolicy &Policy,
                  AosSystemConfig Config = AosSystemConfig());
 
-  /// Registers this system as the VM's sample sink.
-  void attach() { VM.setSampleSink(this); }
+  /// Registers this system as the VM's sample sink and, when
+  /// Config.Osr.Enabled, installs the OSR driver so live activations
+  /// transfer onto replacement variants at their next loop backedge.
+  void attach() {
+    VM.setSampleSink(this);
+    if (Config.Osr.Enabled)
+      VM.setOsrDriver(&OsrMgr);
+  }
 
   /// Pre-seeds the dynamic call graph with an offline training profile
   /// (see profile/ProfileIo.h) and codifies its rules immediately, which
@@ -117,6 +129,8 @@ public:
   const AosDatabase &database() const { return Db; }
   const Controller &controller() const { return Ctrl; }
   const AosStats &stats() const { return Stats; }
+  const OsrManager &osr() const { return OsrMgr; }
+  const OsrStats &osrStats() const { return OsrMgr.stats(); }
   ContextPolicy &policy() { return Policy; }
   TraceListener &traceListener() { return TraceL; }
   const AosSystemConfig &config() const { return Config; }
@@ -140,6 +154,7 @@ private:
   Controller Ctrl;
   AosDatabase Db;
   OptimizingCompiler Compiler;
+  OsrManager OsrMgr;
   std::deque<CompilationRequest> CompileQueue;
   AosStats Stats;
 };

@@ -108,6 +108,38 @@ double Controller::samples(MethodId M) const {
   return It == SampleCounts.end() ? 0 : It->second;
 }
 
+bool Controller::worthOsr(MethodId M, const CodeVariant &From,
+                          const CodeVariant &To, uint64_t TransitionCycles,
+                          double *SavingsOut) const {
+  // Future ~ past, as in chooseLevel(): the activation's remaining work
+  // is priced from the method's decayed sample count.
+  const double Future =
+      samples(M) * static_cast<double>(Model.SamplePeriodCycles);
+
+  // Fraction of that work the replacement saves.
+  double Gain = 0;
+  if (To.Level != From.Level)
+    Gain = 1.0 - 1.0 / Model.speedRatio(From.Level, To.Level);
+  if (Gain <= 0) {
+    // Same level (or a downgrade): a plan refresh. Per-unit rates cannot
+    // see inlining, so value the refresh by how much more inlining the
+    // new variant carries.
+    const int64_t ExtraBodies =
+        static_cast<int64_t>(To.Plan.NumInlineBodies) -
+        static_cast<int64_t>(From.Plan.NumInlineBodies);
+    if (ExtraBodies <= 0)
+      return false;
+    Gain = std::min(0.25, Config.OsrSameLevelGainPerBody *
+                              static_cast<double>(ExtraBodies));
+  }
+
+  const double Savings = Future * Gain;
+  if (SavingsOut)
+    *SavingsOut = Savings;
+  return Savings >
+         Config.OsrSavingsMargin * static_cast<double>(TransitionCycles);
+}
+
 std::vector<MethodId> Controller::hotMethods() const {
   std::vector<MethodId> Hot;
   for (const auto &[M, Count] : SampleCounts)

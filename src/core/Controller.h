@@ -43,6 +43,16 @@ struct ControllerConfig {
   double HotMethodSamples = 3.0;
   /// Highest optimization level the controller will request.
   OptLevel MaxLevel = OptLevel::Opt2;
+
+  /// OSR gate: the expected cycle savings of transferring a live
+  /// activation onto a replacement variant (estimated from the method's
+  /// decayed sample count, like the recompilation model) must exceed
+  /// this multiple of the transition cost. 1.0 = break even.
+  double OsrSavingsMargin = 1.0;
+  /// Assumed fractional speedup per additional inline body when the
+  /// replacement variant is at the *same* level as the stale one (a plan
+  /// refresh — cyclesPerUnit cannot see inlining gains). Capped at 25%.
+  double OsrSameLevelGainPerBody = 0.02;
 };
 
 /// A recompilation the controller decided on.
@@ -90,6 +100,16 @@ public:
   /// Methods whose decayed sample count is at least HotMethodSamples,
   /// sorted by id. This is the missing-edge organizer's scan set.
   std::vector<MethodId> hotMethods() const;
+
+  /// The OSR cost/benefit gate (the OsrManager's policy, wired by
+  /// AdaptiveSystem): is transferring a live activation of \p M from
+  /// variant \p From to \p To worth \p TransitionCycles? Prices the
+  /// method's remaining work from its decayed sample count, exactly as
+  /// the recompilation model prices future invocations; \p SavingsOut
+  /// (optional) receives the expected cycle savings for the osr-enter
+  /// trace event.
+  bool worthOsr(MethodId M, const CodeVariant &From, const CodeVariant &To,
+                uint64_t TransitionCycles, double *SavingsOut) const;
 
   const ControllerConfig &config() const { return Config; }
 

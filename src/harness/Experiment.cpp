@@ -56,6 +56,10 @@ RunResult aoci::runExperiment(const RunConfig &Config) {
   R.InlinedCalls = VM.counters().InlinedCallsEntered;
   R.SamplesTaken = VM.counters().SamplesTaken;
   R.ProgramResult = VM.threads().front()->Result.asInt();
+  R.OsrEntries = Aos.osrStats().OsrEntries;
+  R.Deopts = Aos.osrStats().Deopts;
+  R.OsrTransitionCycles = Aos.osrStats().TransitionCyclesCharged;
+  R.OsrCyclesRecovered = Aos.osrStats().CyclesRecoveredEstimate;
 
   R.ClassesLoaded = W.Prog.numClasses();
   for (MethodId M = 0; M != W.Prog.numMethods(); ++M) {
@@ -238,6 +242,8 @@ RunMetrics makeMetrics(const PlannedRun &Run, const RunResult &Result,
   M.QueueLatencyNs = QueueLatencyNs;
   M.HostNs = HostNs;
   M.RunCycles = Result.WallCycles;
+  M.OsrEntries = Result.OsrEntries;
+  M.Deopts = Result.Deopts;
   return M;
 }
 

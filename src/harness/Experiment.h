@@ -75,6 +75,15 @@ struct RunResult {
   uint64_t SamplesTaken = 0;
   int64_t ProgramResult = 0;
 
+  /// OSR subsystem activity (all zero when RunConfig's Aos.Osr.Enabled
+  /// is off — see src/osr/OsrConfig.h for the counter semantics). Kept
+  /// out of the frozen grid CSV; surfaced by reportRunMetrics() and the
+  /// CLI run report.
+  uint64_t OsrEntries = 0;
+  uint64_t Deopts = 0;
+  uint64_t OsrTransitionCycles = 0;
+  uint64_t OsrCyclesRecovered = 0;
+
   /// Table 1 characteristics: classes in the program, methods and
   /// bytecodes dynamically compiled (i.e. actually executed at least
   /// once and hence baseline-compiled).
@@ -133,6 +142,10 @@ struct RunMetrics {
   uint64_t HostNs = 0;
   /// The run's simulated wall cycles (copied from the best trial).
   uint64_t RunCycles = 0;
+  /// OSR activity of the best trial (zero with OSR disabled). Reported
+  /// by reportRunMetrics(); not part of the frozen metrics CSV.
+  uint64_t OsrEntries = 0;
+  uint64_t Deopts = 0;
 };
 
 /// The benchmark x policy x depth sweep.

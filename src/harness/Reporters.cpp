@@ -216,6 +216,7 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
   const std::vector<RunMetrics> &Metrics = Results.metrics();
   std::vector<std::vector<std::string>> Rows;
   uint64_t TotalHostNs = 0, TotalQueueNs = 0, TotalCycles = 0;
+  uint64_t TotalOsrEntries = 0, TotalDeopts = 0;
   unsigned MaxWorker = 0;
   for (const RunMetrics &M : Metrics) {
     Rows.push_back(
@@ -228,6 +229,8 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
     TotalHostNs += M.HostNs;
     TotalQueueNs += M.QueueLatencyNs;
     TotalCycles += M.RunCycles;
+    TotalOsrEntries += M.OsrEntries;
+    TotalDeopts += M.Deopts;
     MaxWorker = std::max(MaxWorker, M.Worker);
   }
   std::string Out = "Harness run metrics (host-side; not deterministic)\n";
@@ -244,5 +247,11 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
       static_cast<double>(TotalHostNs) / 1e6,
       static_cast<double>(TotalQueueNs) / 1e3 / N,
       static_cast<double>(TotalCycles) / 1e6);
+  if (TotalOsrEntries != 0 || TotalDeopts != 0)
+    Out += formatString(
+        "  osr: %llu on-stack replacements, %llu deoptimizations across "
+        "the sweep\n",
+        static_cast<unsigned long long>(TotalOsrEntries),
+        static_cast<unsigned long long>(TotalDeopts));
   return Out;
 }

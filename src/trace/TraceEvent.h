@@ -52,9 +52,18 @@ enum class TraceEventKind : uint8_t {
   GuardFallback,
   /// A garbage-collection pause; a duration event spanning the pause.
   GcPause,
+  /// An on-stack replacement: a live activation transferred onto a newly
+  /// installed variant at a loop backedge.
+  OsrEnter,
+  /// An OSR-entered frame returning; carries the cycles it ran in the
+  /// replacement code and the estimated cycles the transfer recovered.
+  OsrExit,
+  /// A deoptimization: a stale inlined frame group re-established on the
+  /// baseline variants of its source methods.
+  Deopt,
 };
 
-constexpr unsigned NumTraceEventKinds = 10;
+constexpr unsigned NumTraceEventKinds = 13;
 
 /// Stable kebab-case names (JSON `name` field, `--trace-filter` tokens).
 const char *traceEventKindName(TraceEventKind K);

@@ -180,6 +180,31 @@ void writeArgs(std::ostream &OS, const TraceSink &Sink, const TraceEvent &E) {
     intArg(OS, First, "bytesSinceGc", E.A);
     intArg(OS, First, "pauseIndex", E.B);
     break;
+  case TraceEventKind::OsrEnter:
+    methodArg(OS, First, "method", Sink, E.Method);
+    intArg(OS, First, "fromLevel", E.A);
+    intArg(OS, First, "toLevel", E.B);
+    intArg(OS, First, "pc", E.C);
+    intArg(OS, First, "serial", E.D);
+    numArg(OS, First, "expectedSavings", E.X);
+    intArg(OS, First, "thread", E.Thread);
+    break;
+  case TraceEventKind::OsrExit:
+    methodArg(OS, First, "method", Sink, E.Method);
+    intArg(OS, First, "fromLevel", E.A);
+    intArg(OS, First, "level", E.B);
+    intArg(OS, First, "cyclesInVariant", E.C);
+    intArg(OS, First, "recovered", E.D);
+    intArg(OS, First, "thread", E.Thread);
+    break;
+  case TraceEventKind::Deopt:
+    methodArg(OS, First, "method", Sink, E.Method);
+    intArg(OS, First, "frames", E.A);
+    intArg(OS, First, "pc", E.B);
+    intArg(OS, First, "fromLevel", E.C);
+    methodArg(OS, First, "topMethod", Sink, static_cast<uint32_t>(E.E));
+    intArg(OS, First, "thread", E.Thread);
+    break;
   }
   OS << "}";
 }

@@ -39,6 +39,12 @@ const char *aoci::traceEventKindName(TraceEventKind K) {
     return "guard-fallback";
   case TraceEventKind::GcPause:
     return "gc-pause";
+  case TraceEventKind::OsrEnter:
+    return "osr-enter";
+  case TraceEventKind::OsrExit:
+    return "osr-exit";
+  case TraceEventKind::Deopt:
+    return "deopt";
   }
   return "<invalid>";
 }

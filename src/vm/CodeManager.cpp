@@ -116,6 +116,8 @@ const CodeVariant *CodeManager::install(std::unique_ptr<CodeVariant> Variant) {
   }
 
   Current[Ptr->M] = Ptr;
+  if (Ptr->Level == OptLevel::Baseline)
+    Baseline[Ptr->M] = Ptr;
   Variants.push_back(std::move(Variant));
   return Ptr;
 }

@@ -26,17 +26,28 @@ namespace aoci {
 class TraceSink;
 
 /// Registry of compiled code. Installation never frees the previous
-/// variant: running activations hold raw pointers into it.
+/// variant: activations suspended in it keep raw pointers into it, and
+/// with OSR enabled (src/osr/) a live activation is transferred onto the
+/// newly installed variant at its next loop backedge — otherwise it
+/// simply runs the old code to completion and only future invocations
+/// see the replacement.
 class CodeManager {
 public:
   /// \p P must outlive the manager; install() consults it to build each
   /// variant's O(1) plan-site index.
   explicit CodeManager(const Program &P)
-      : P(P), Current(P.numMethods(), nullptr) {}
+      : P(P), Current(P.numMethods(), nullptr),
+        Baseline(P.numMethods(), nullptr) {}
 
   /// Current variant for \p M, or null when the method has never been
   /// compiled.
   const CodeVariant *current(MethodId M) const { return Current[M]; }
+
+  /// The baseline variant for \p M, or null when \p M was never
+  /// baseline-compiled. Deoptimization re-establishes stale inlined
+  /// frames on this variant (every physically entered method has one:
+  /// ensureCompiled() baseline-compiles before any optimized install).
+  const CodeVariant *baseline(MethodId M) const { return Baseline[M]; }
 
   /// Installs \p Variant as the current code for its method and records
   /// its size/compile cost in the ledgers. Returns the stable pointer.
@@ -78,6 +89,7 @@ private:
   TraceSink *Trace = nullptr;
   std::vector<std::unique_ptr<CodeVariant>> Variants;
   std::vector<const CodeVariant *> Current;
+  std::vector<const CodeVariant *> Baseline;
   uint64_t OptBytesGenerated = 0;
   uint64_t OptCompileCyclesTotal = 0;
   uint64_t BaseCompileCyclesTotal = 0;

@@ -75,6 +75,18 @@ struct CostModel {
   /// Epilogue cost of returning from a physical frame.
   uint64_t ReturnOverhead = 10;
 
+  /// Cost of one on-stack replacement: extracting the frame state at a
+  /// loop backedge, mapping it onto the replacement variant, and jumping
+  /// into the new code (Section "On-stack replacement" in DESIGN.md).
+  /// Charged on the application thread, like a GC pause — OSR is runtime
+  /// work the mutator waits for, not AOS overhead.
+  uint64_t OsrTransitionCycles = 600;
+
+  /// Per-materialized-frame cost of a deoptimization: each source frame
+  /// of the stale inlined group is extracted and re-established as a
+  /// physical baseline frame.
+  uint64_t DeoptFrameCycles = 200;
+
   /// Allocation: fixed cost plus a per-slot zeroing cost.
   uint64_t AllocBase = 30;
   uint64_t AllocPerSlot = 2;

@@ -9,6 +9,7 @@
 
 #include "bytecode/Verifier.h"
 #include "trace/TraceSink.h"
+#include "vm/OsrDriver.h"
 
 #include <algorithm>
 #include <cassert>
@@ -194,6 +195,17 @@ void VirtualMachine::maybeDeliverSample(ThreadState &T, bool AtPrologue) {
     Sink->onSample(*this, T, AtPrologue);
 }
 
+bool VirtualMachine::maybeOsrAtBackedge(ThreadState &T) {
+  Frame &F = T.Frames.back();
+  // Inlined frames share the physical root's variant, so comparing the
+  // variant against the current code for the *variant's* method detects
+  // staleness uniformly: a stale physical frame is an OSR candidate, a
+  // stale inlined frame a deoptimization candidate.
+  if (Code.current(F.Variant->M) == F.Variant)
+    return false;
+  return Osr->onStaleBackedge(*this, T);
+}
+
 void VirtualMachine::maybeCollectGarbage() {
   if (TheHeap.bytesSinceGc() < Model.GcTriggerBytes)
     return;
@@ -313,6 +325,8 @@ void VirtualMachine::handleReturn(ThreadState &T, bool HasValue) {
     Ret = T.Slab[T.SlabTop - 1];
   }
   charge(Done.Inlined ? 1 : Model.ReturnOverhead);
+  if (Osr != nullptr && Done.OsrEntered)
+    Osr->onOsrFrameReturn(*this, T, Done);
 
   // Truncating to the callee's locals base frees its locals and stack and
   // re-exposes the caller's stack with the argument slots already consumed
@@ -383,11 +397,17 @@ void VirtualMachine::interpret(ThreadState &T, uint64_t StopClock,
       const bool Backward = Target <= PC;
       PC = static_cast<uint32_t>(Target);
       // Taken backward branches are loop-backedge yieldpoints. Listeners
-      // walk the frame stack, so spill the cached state first.
+      // walk the frame stack, so spill the cached state first. They are
+      // also the OSR points: a sample delivered here can install a
+      // replacement variant, which the staleness check then picks up at
+      // this same backedge. A remap invalidates the cached Cost pointer,
+      // hence Refresh.
       if (Backward) {
         F.PC = PC;
         T.SlabTop = Top;
         maybeDeliverSample(T, /*AtPrologue=*/false);
+        if (Osr != nullptr && maybeOsrAtBackedge(T))
+          Refresh = true;
       }
     };
 

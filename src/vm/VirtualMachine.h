@@ -39,6 +39,7 @@
 namespace aoci {
 
 class TraceSink;
+class OsrDriver;
 
 /// Host-side interpreter metadata for one source method, built lazily at
 /// first frame entry. Everything here is a pure cache over immutable
@@ -103,6 +104,14 @@ struct Frame {
   uint32_t StackBase = 0;
   /// True when this source frame was inlined into the frame below it.
   bool Inlined = false;
+  /// True when this frame was transferred onto a replacement variant by
+  /// an on-stack replacement; handleReturn then notifies the OSR driver
+  /// so it can account the time spent in the new code.
+  bool OsrEntered = false;
+  /// OSR bookkeeping, valid while OsrEntered: the clock at transfer and
+  /// the optimization level the frame was running before it.
+  uint64_t OsrEnterCycle = 0;
+  OptLevel OsrFromLevel = OptLevel::Baseline;
 };
 
 /// One green thread.
@@ -158,6 +167,12 @@ public:
   void setTraceSink(TraceSink *T);
   TraceSink *traceSink() const { return Trace; }
 
+  /// Attaches the OSR/deoptimization driver (null detaches — the
+  /// default, under which no activation is ever transferred and the
+  /// interpreter behaves exactly as without the subsystem).
+  void setOsrDriver(OsrDriver *D) { Osr = D; }
+  OsrDriver *osrDriver() const { return Osr; }
+
   /// Creates a green thread that will execute static no-arg method
   /// \p Entry. Returns the thread id.
   unsigned addThread(MethodId Entry);
@@ -183,6 +198,12 @@ public:
     Meter.charge(C, Cycles);
   }
 
+  /// Charges \p Cycles of runtime-system work performed on the
+  /// application thread outside the bytecode cost tables — OSR and
+  /// deoptimization transitions. Advances the clock like a GC pause:
+  /// the mutator waits, but nothing lands on the AOS component meters.
+  void chargeMutator(uint64_t Cycles) { Clock += Cycles; }
+
   const OverheadMeter &overheadMeter() const { return Meter; }
   const ExecutionCounters &counters() const { return Counters; }
 
@@ -204,6 +225,15 @@ public:
   /// compiler's cycles on first touch (Jikes compiles lazily at first
   /// invocation). Returns the current variant.
   const CodeVariant *ensureCompiled(MethodId M);
+
+  /// The per-PC cycle-charge table of \p M under (\p L, \p Inlined),
+  /// built on first use. Exposed for the OSR frame mapper, which must
+  /// retarget a frame's cached Cost pointer when it swaps the variant;
+  /// the table contents are a pure function of the inputs, so handing
+  /// them out cannot perturb execution.
+  const uint64_t *frameCostTable(MethodId M, OptLevel L, bool Inlined) {
+    return costTable(hotData(M), L, Inlined);
+  }
 
 private:
   /// The interpreter's inner loop: executes thread \p T until it finishes,
@@ -233,6 +263,12 @@ private:
     Clock += Cycles;
   }
   void maybeDeliverSample(ThreadState &T, bool AtPrologue);
+  /// Backedge OSR hook: when a driver is attached and the top frame's
+  /// variant has been superseded, hands the thread to the driver.
+  /// Returns true when the driver remapped the frame stack. Out of line
+  /// on purpose — the interpreter's hot path only pays the Osr null
+  /// test and the staleness compare.
+  bool maybeOsrAtBackedge(ThreadState &T);
   void maybeCollectGarbage();
 
   const Program &P;
@@ -244,6 +280,7 @@ private:
   ExecutionCounters Counters;
   SampleSink *Sink = nullptr;
   TraceSink *Trace = nullptr;
+  OsrDriver *Osr = nullptr;
   std::vector<std::unique_ptr<ThreadState>> Threads;
   /// Per-method host-side caches, indexed by MethodId.
   std::vector<MethodHotData> HotData;

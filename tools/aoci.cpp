@@ -48,19 +48,21 @@ int usage() {
       "  aoci list\n"
       "  aoci table1\n"
       "  aoci run <workload> [--policy P] [--depth N] [--scale X]\n"
-      "           [--seed N] [--plans] [--trace-stats]\n"
+      "           [--seed N] [--osr on|off] [--plans] [--trace-stats]\n"
       "           [--save-profile FILE] [--load-profile FILE]\n"
       "  aoci grid [--workloads a,b] [--policies p,q] [--depths 2,3]\n"
-      "            [--scale X] [--trials N] [--jobs N] [--csv FILE]\n"
-      "            [--metrics-csv FILE] [--metrics]\n"
+      "            [--scale X] [--trials N] [--jobs N] [--osr on|off]\n"
+      "            [--csv FILE] [--metrics-csv FILE] [--metrics]\n"
       "            [--trace-out FILE] [--trace-filter kinds]\n"
       "            [--report fig4|fig5|fig6|compile|summary|all]\n"
       "  aoci trace <workload> [--trace-out FILE] [--trace-filter kinds]\n"
       "             [--policy P] [--depth N] [--scale X] [--seed N]\n"
-      "             [--trials N] [--max-events N]\n"
+      "             [--trials N] [--max-events N] [--osr on|off]\n"
       "  aoci disasm <workload> [method]\n"
       "policies: cins fixed paramLess class large hybrid1 hybrid2 "
       "imprecision\n"
+      "--osr: transfer live activations onto replacement code at loop\n"
+      "  backedges (on-stack replacement + deoptimization); default off\n"
       "trace kinds: comma-separated event names (see OBSERVABILITY.md), "
       "e.g.\n"
       "  --trace-filter sample,controller-decision,compile-complete\n");
@@ -74,6 +76,20 @@ bool parsePolicy(const std::string &Name, PolicyKind &Kind) {
       return true;
     }
   return false;
+}
+
+/// Parses an `--osr on|off` value.
+bool parseOsr(const std::string &Value, bool &Enabled) {
+  if (Value == "on")
+    Enabled = true;
+  else if (Value == "off")
+    Enabled = false;
+  else {
+    std::fprintf(stderr, "--osr takes 'on' or 'off', not '%s'\n",
+                 Value.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::vector<std::string> splitList(const std::string &Text) {
@@ -147,6 +163,7 @@ int cmdRun(int Argc, char **Argv) {
   PolicyKind Kind = PolicyKind::ContextInsensitive;
   unsigned Depth = 1;
   WorkloadParams Params;
+  AosSystemConfig AosConfig;
   bool ShowPlans = false, TraceStats = false;
   std::string SaveProfile, LoadProfile;
 
@@ -171,6 +188,9 @@ int cmdRun(int Argc, char **Argv) {
       SaveProfile = Value;
     } else if (A.flag("--load-profile", Value)) {
       LoadProfile = Value;
+    } else if (A.flag("--osr", Value)) {
+      if (!parseOsr(Value, AosConfig.Osr.Enabled))
+        return 1;
     } else if (A.boolFlag("--plans")) {
       ShowPlans = true;
     } else if (A.boolFlag("--trace-stats")) {
@@ -184,7 +204,7 @@ int cmdRun(int Argc, char **Argv) {
   Workload W = makeWorkload(WorkloadName, Params);
   VirtualMachine VM(W.Prog);
   std::unique_ptr<ContextPolicy> Policy = makePolicy(Kind, Depth);
-  AdaptiveSystem Aos(VM, *Policy);
+  AdaptiveSystem Aos(VM, *Policy, AosConfig);
   if (TraceStats)
     Aos.traceListener().enableStatistics();
   if (!LoadProfile.empty()) {
@@ -233,6 +253,16 @@ int cmdRun(int Argc, char **Argv) {
                   VM.counters().InlinedCallsEntered),
               static_cast<unsigned long long>(
                   VM.counters().GuardFallbacks));
+  if (AosConfig.Osr.Enabled) {
+    const OsrStats &S = Aos.osrStats();
+    std::printf("osr            %llu entries, %llu deopts (%llu frames); "
+                "%llu cycles charged, ~%llu recovered\n",
+                static_cast<unsigned long long>(S.OsrEntries),
+                static_cast<unsigned long long>(S.Deopts),
+                static_cast<unsigned long long>(S.DeoptFramesRemapped),
+                static_cast<unsigned long long>(S.TransitionCyclesCharged),
+                static_cast<unsigned long long>(S.CyclesRecoveredEstimate));
+  }
   for (unsigned C = 0; C != NumAosComponents; ++C)
     std::printf("aos %-21s %8.4f%%\n",
                 aosComponentName(static_cast<AosComponent>(C)),
@@ -305,6 +335,9 @@ int cmdTrace(int Argc, char **Argv) {
       Trials = static_cast<unsigned>(std::atoi(Value.c_str()));
     } else if (A.flag("--max-events", Value)) {
       MaxEvents = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (A.flag("--osr", Value)) {
+      if (!parseOsr(Value, Config.Aos.Osr.Enabled))
+        return 1;
     } else if (Argv[A.Pos][0] != '-' && Config.WorkloadName.empty()) {
       Config.WorkloadName = Argv[A.Pos++];
     } else {
@@ -400,6 +433,9 @@ int cmdGrid(int Argc, char **Argv) {
       Config.Trials = static_cast<unsigned>(std::atoi(Value.c_str()));
     } else if (A.flag("--jobs", Value)) {
       Jobs = static_cast<unsigned>(std::atoi(Value.c_str()));
+    } else if (A.flag("--osr", Value)) {
+      if (!parseOsr(Value, Config.Aos.Osr.Enabled))
+        return 1;
     } else if (A.flag("--csv", Value)) {
       Csv = Value;
     } else if (A.flag("--metrics-csv", Value)) {

@@ -62,6 +62,23 @@ def typespec:
     "gc-pause": {
       tids: [0],
       req: {bytesSinceGc: "number", pauseIndex: "number"}
+    },
+    "osr-enter": {
+      tids: [0],
+      req: {method: "string", fromLevel: "number", toLevel: "number",
+            pc: "number", serial: "number", expectedSavings: "number",
+            thread: "number"}
+    },
+    "osr-exit": {
+      tids: [0],
+      req: {method: "string", fromLevel: "number", level: "number",
+            cyclesInVariant: "number", recovered: "number",
+            thread: "number"}
+    },
+    "deopt": {
+      tids: [0],
+      req: {method: "string", frames: "number", pc: "number",
+            fromLevel: "number", topMethod: "string", thread: "number"}
     }
   };
 
