@@ -40,5 +40,15 @@ int main() {
   std::printf(
       "%s\n",
       reportCompileTime(Results, Config.Policies, Config.Depths).c_str());
+  // Absolute anchors for the relative panels above: "code space" is the
+  // resident (live) optimized code; the cumulative-generated figure also
+  // counts code obsoleted by recompilation and tracks compile time.
+  std::printf("context-insensitive baseline code size (bytes):\n");
+  for (const std::string &W : Results.workloads()) {
+    const RunResult &B = Results.baseline(W);
+    std::printf("  %-12s %llu resident / %llu generated\n", W.c_str(),
+                static_cast<unsigned long long>(B.OptBytesResident),
+                static_cast<unsigned long long>(B.OptBytesGenerated));
+  }
   return 0;
 }

@@ -7,9 +7,11 @@
 
 #include "core/AdaptiveSystem.h"
 
+#include "support/Audit.h"
 #include "trace/TraceSink.h"
 
 #include <cassert>
+#include <string>
 
 using namespace aoci;
 
@@ -76,8 +78,10 @@ AdaptiveSystem::AdaptiveSystem(VirtualMachine &VM, ContextPolicy &Policy,
 }
 
 void AdaptiveSystem::seedProfile(const DynamicCallGraph &Training) {
-  Training.forEach(
-      [&](const Trace &T, double Weight) { Dcg.addSample(T, Weight); });
+  Training.forEach([&](const Trace &T, double Weight) {
+    Dcg.addSample(T, Weight);
+    ++AuditTracesFed;
+  });
   AiOrg.rebuildRules(VM.program(), Dcg, /*NowCycle=*/0, Rules);
 }
 
@@ -158,8 +162,18 @@ void AdaptiveSystem::dcgOrganizerWakeup() {
   VM.chargeAos(AosComponent::AiOrganizer,
                Config.OrganizerWakeupCost +
                    Config.DcgPerTraceCost * Traces.size());
-  for (const Trace &T : Traces)
+  for (const Trace &T : Traces) {
     Dcg.addSample(T);
+    ++AuditTracesFed;
+  }
+  // Cross-layer auditor: the DCG can never hold more distinct traces than
+  // the listener (and any seeded profile) ever fed it — decay only
+  // removes entries. A violation means a layer is inventing profile data.
+  if (audit::enabled())
+    audit::check(Dcg.numTraces() <= AuditTracesFed, "core",
+                 "DCG holds " + std::to_string(Dcg.numTraces()) +
+                     " distinct traces but listeners only ever recorded " +
+                     std::to_string(AuditTracesFed));
 
   // Adaptive-imprecision maintenance: ask for more context at sites whose
   // per-context receiver distributions are still unskewed.
@@ -204,11 +218,17 @@ void AdaptiveSystem::missingEdgeWakeup() {
   TraceSink *Sink = VM.traceSink();
   int64_t Requested = 0;
   for (MethodId M : Missing) {
+    // Missing-edge candidates are optimized methods, but with a bounded
+    // code cache the optimized code can be evicted between detection and
+    // this wakeup (current() is then null or a re-entered baseline). Skip
+    // those — the hotness path will re-request them if they stay warm.
+    // Checked before tryMarkInFlight so a skip never leaves the method
+    // marked pending.
+    const CodeVariant *V = VM.codeManager().current(M);
+    if (V == nullptr || V->Level == OptLevel::Baseline)
+      continue;
     if (!Ctrl.tryMarkInFlight(M))
       continue;
-    const CodeVariant *V = VM.codeManager().current(M);
-    assert(V && V->Level != OptLevel::Baseline &&
-           "missing-edge candidates are optimized methods");
     ++Stats.MissingEdgeRequests;
     ++Requested;
     CompileQueue.push_back(CompilationRequest{M, V->Level, true});

@@ -104,10 +104,14 @@ public:
   /// Registers this system as the VM's sample sink and, when
   /// Config.Osr.Enabled, installs the OSR driver so live activations
   /// transfer onto replacement variants at their next loop backedge.
+  /// Also hands the bounded code cache the controller's hotness estimate
+  /// as its advisory eviction preference (hot methods evict last).
   void attach() {
     VM.setSampleSink(this);
     if (Config.Osr.Enabled)
       VM.setOsrDriver(&OsrMgr);
+    VM.codeManager().setEvictPreference(
+        [this](MethodId M) { return Ctrl.preferKeepInCache(M); });
   }
 
   /// Pre-seeds the dynamic call graph with an offline training profile
@@ -157,6 +161,10 @@ private:
   OsrManager OsrMgr;
   std::deque<CompilationRequest> CompileQueue;
   AosStats Stats;
+  /// Audit-only ledger: every trace ever handed to the DCG (listener
+  /// drains plus seeded profiles). The invariant auditor cross-checks the
+  /// DCG's distinct-trace count against it after each organizer wakeup.
+  uint64_t AuditTracesFed = 0;
 };
 
 } // namespace aoci

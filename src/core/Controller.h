@@ -111,6 +111,15 @@ public:
   bool worthOsr(MethodId M, const CodeVariant &From, const CodeVariant &To,
                 uint64_t TransitionCycles, double *SavingsOut) const;
 
+  /// The bounded code cache's advisory two-tier preference (wired to
+  /// CodeManager::setEvictPreference by AdaptiveSystem): methods that are
+  /// currently hot by the organizer's own threshold evict after cold
+  /// ones. A pure function of decayed sample counts — simulated state —
+  /// so serial and parallel grid runs pick identical victims.
+  bool preferKeepInCache(MethodId M) const {
+    return samples(M) >= Config.HotMethodSamples;
+  }
+
   const ControllerConfig &config() const { return Config; }
 
 private:

@@ -60,6 +60,10 @@ RunResult aoci::runExperiment(const RunConfig &Config) {
   R.Deopts = Aos.osrStats().Deopts;
   R.OsrTransitionCycles = Aos.osrStats().TransitionCyclesCharged;
   R.OsrCyclesRecovered = Aos.osrStats().CyclesRecoveredEstimate;
+  R.LiveCodeBytes = VM.codeManager().liveCodeBytes();
+  R.PeakCodeBytes = VM.codeManager().peakCodeBytes();
+  R.Evictions = VM.codeManager().numEvictions();
+  R.RecompilesAfterEvict = VM.codeManager().recompilesAfterEvict();
 
   R.ClassesLoaded = W.Prog.numClasses();
   for (MethodId M = 0; M != W.Prog.numMethods(); ++M) {
@@ -215,6 +219,7 @@ std::vector<PlannedRun> planGrid(const GridConfig &Config) {
     Base.Config.Policy = PolicyKind::ContextInsensitive;
     Base.Config.MaxDepth = 1;
     Base.Config.Aos = Config.Aos;
+    Base.Config.Model = Config.Model;
     Base.IsBaseline = true;
     Plan.push_back(Base);
     for (PolicyKind Policy : Config.Policies) {
@@ -244,6 +249,7 @@ RunMetrics makeMetrics(const PlannedRun &Run, const RunResult &Result,
   M.RunCycles = Result.WallCycles;
   M.OsrEntries = Result.OsrEntries;
   M.Deopts = Result.Deopts;
+  M.Evictions = Result.Evictions;
   return M;
 }
 
@@ -320,10 +326,11 @@ aoci::runGrid(const GridConfig &Config,
       Baseline = &R;
       if (Progress)
         Progress(formatString(
-            "%-12s cins: %llu cycles, %llu opt bytes",
+            "%-12s cins: %llu cycles, %llu opt bytes (%llu resident)",
             R.WorkloadName.c_str(),
             static_cast<unsigned long long>(R.WallCycles),
-            static_cast<unsigned long long>(R.OptBytesGenerated)));
+            static_cast<unsigned long long>(R.OptBytesGenerated),
+            static_cast<unsigned long long>(R.OptBytesResident)));
     } else if (Progress) {
       Progress(formatString(
           "%-12s %-10s max=%u: speedup %s, code %s",
@@ -375,13 +382,14 @@ GridResults aoci::runGridParallel(
           std::lock_guard<std::mutex> Lock(ProgressMutex);
           Progress(formatString(
               "%-12s %-10s max=%u: %llu cycles, %llu opt bytes "
-              "(worker %u, %.1f host ms)",
+              "(%llu resident; worker %u, %.1f host ms)",
               Runs[I].WorkloadName.c_str(),
               Plan[I].IsBaseline ? "cins"
                                  : policyKindName(Plan[I].Config.Policy),
               Plan[I].Config.MaxDepth,
               static_cast<unsigned long long>(Runs[I].WallCycles),
               static_cast<unsigned long long>(Runs[I].OptBytesGenerated),
+              static_cast<unsigned long long>(Runs[I].OptBytesResident),
               Metrics[I].Worker,
               static_cast<double>(Metrics[I].HostNs) / 1e6));
         }

@@ -84,6 +84,16 @@ struct RunResult {
   uint64_t OsrTransitionCycles = 0;
   uint64_t OsrCyclesRecovered = 0;
 
+  /// Bounded code cache activity (all zero with the cache off, i.e.
+  /// Model.CodeCache.CapacityBytes == 0). Live/peak bytes count *all*
+  /// installed code — baseline and optimized — which is what the cache's
+  /// capacity bounds; the OptBytes* fields above remain optimized-only.
+  /// Kept out of the frozen grid CSV, like the OSR counters.
+  uint64_t LiveCodeBytes = 0;
+  uint64_t PeakCodeBytes = 0;
+  uint64_t Evictions = 0;
+  uint64_t RecompilesAfterEvict = 0;
+
   /// Table 1 characteristics: classes in the program, methods and
   /// bytecodes dynamically compiled (i.e. actually executed at least
   /// once and hence baseline-compiled).
@@ -146,6 +156,8 @@ struct RunMetrics {
   /// by reportRunMetrics(); not part of the frozen metrics CSV.
   uint64_t OsrEntries = 0;
   uint64_t Deopts = 0;
+  /// Code-cache evictions of the best trial (zero with the cache off).
+  uint64_t Evictions = 0;
 };
 
 /// The benchmark x policy x depth sweep.
@@ -155,6 +167,11 @@ struct GridConfig {
   std::vector<unsigned> Depths = {2, 3, 4, 5}; ///< The paper's 2..5.
   WorkloadParams Params;
   AosSystemConfig Aos;
+  /// The VM cost model every cell runs under, including the bounded
+  /// code cache configuration (Model.CodeCache). Eviction order is a
+  /// pure function of simulated state, so a capacity-limited sweep is
+  /// still byte-identical between runGrid() and runGridParallel().
+  CostModel Model;
   /// Trials per cell, taking the fastest (the paper used 20).
   unsigned Trials = 1;
   /// Observability: record every run's event stream (see traces() on

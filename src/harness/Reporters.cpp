@@ -217,6 +217,7 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
   std::vector<std::vector<std::string>> Rows;
   uint64_t TotalHostNs = 0, TotalQueueNs = 0, TotalCycles = 0;
   uint64_t TotalOsrEntries = 0, TotalDeopts = 0;
+  uint64_t TotalEvictions = 0;
   unsigned MaxWorker = 0;
   for (const RunMetrics &M : Metrics) {
     Rows.push_back(
@@ -231,6 +232,7 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
     TotalCycles += M.RunCycles;
     TotalOsrEntries += M.OsrEntries;
     TotalDeopts += M.Deopts;
+    TotalEvictions += M.Evictions;
     MaxWorker = std::max(MaxWorker, M.Worker);
   }
   std::string Out = "Harness run metrics (host-side; not deterministic)\n";
@@ -253,5 +255,9 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
         "the sweep\n",
         static_cast<unsigned long long>(TotalOsrEntries),
         static_cast<unsigned long long>(TotalDeopts));
+  if (TotalEvictions != 0)
+    Out += formatString(
+        "  code cache: %llu evictions across the sweep\n",
+        static_cast<unsigned long long>(TotalEvictions));
   return Out;
 }

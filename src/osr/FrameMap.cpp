@@ -71,4 +71,7 @@ void aoci::retargetFrame(VirtualMachine &VM, ThreadState &T, size_t Index,
   // The cost table is keyed by (level, inlined); the body pointer is a
   // pure function of the method and stays valid.
   F.Cost = VM.frameCostTable(F.Method, To->Level, Inlined);
+  // A transfer is an invocation as far as the bounded code cache's
+  // recency order is concerned (simulated-clock state only).
+  To->LastUsedCycle = VM.cycles();
 }

@@ -54,7 +54,12 @@ bool OsrManager::osrEnter(VirtualMachine &VM, ThreadState &T) {
   Frame &F = T.Frames.back();
   const CodeVariant *From = F.Variant;
   const CodeVariant *To = VM.codeManager().current(F.Method);
-  assert(To != nullptr && To != From && "backedge reported as stale");
+  // With a bounded code cache the method's current code can be *gone*
+  // (evicted without a live replacement): there is nothing to transfer
+  // onto, so the activation keeps running the code it is pinned on.
+  if (To == nullptr)
+    return false;
+  assert(To != From && "backedge reported as stale");
   const CostModel &Model = VM.costModel();
 
   double Savings = 0;
@@ -93,6 +98,7 @@ bool OsrManager::osrEnter(VirtualMachine &VM, ThreadState &T) {
 
   Stats.TransitionCyclesCharged += Model.OsrTransitionCycles;
   ++Stats.OsrEntries;
+  VM.auditState("osr-enter");
   return true;
 }
 
@@ -102,7 +108,12 @@ bool OsrManager::deoptimize(VirtualMachine &VM, ThreadState &T) {
   Frame &RootF = T.Frames[Root];
   const CodeVariant *From = RootF.Variant;
   const CodeVariant *To = VM.codeManager().current(From->M);
-  assert(To != nullptr && To != From && "backedge reported as stale");
+  // The replacement that made this group stale can itself have been
+  // evicted since; with no current code there is no detour worth pricing,
+  // so the group keeps running its (pinned) variant.
+  if (To == nullptr)
+    return false;
+  assert(To != From && "backedge reported as stale");
   const CostModel &Model = VM.costModel();
 
   // The detour is priced end to end: unwinding every frame to baseline
@@ -131,22 +142,35 @@ bool OsrManager::deoptimize(VirtualMachine &VM, ThreadState &T) {
     }
   }
 
-  for (size_t I = Root; I != T.Frames.size(); ++I) {
+  remapGroupToBaseline(VM, T, Root, T.Frames.size());
+  ++Stats.Deopts;
+  VM.auditState("deopt");
+  return true;
+}
+
+void OsrManager::remapGroupToBaseline(VirtualMachine &VM, ThreadState &T,
+                                      size_t Root, size_t End) {
+  const CostModel &Model = VM.costModel();
+  const size_t NumFrames = End - Root;
+  for (size_t I = Root; I != End; ++I) {
     Frame &F = T.Frames[I];
     const CodeVariant *Base = VM.codeManager().baseline(F.Method);
     if (Base == nullptr) {
-      // An inlined-only method may never have been physically entered, so
-      // no baseline exists yet; materialize one now. The compile charge
-      // lands on the application thread, exactly as a first call would
-      // have paid it.
-      VM.ensureCompiled(F.Method);
-      Base = VM.codeManager().baseline(F.Method);
-    }
-    if (Base == nullptr) {
-      // Hand-installed optimized-only code (tests can do this): the
-      // current variant is the only physical code the method has.
-      assert(!F.Inlined || I != Root);
-      Base = VM.codeManager().current(F.Method);
+      const CodeVariant *Cur = VM.codeManager().current(F.Method);
+      if (Cur != nullptr && Cur != F.Variant) {
+        // Hand-installed optimized-only code (tests can do this): the
+        // current variant is the only physical code the method has.
+        Base = Cur;
+      } else {
+        // An inlined-only method may never have been physically entered,
+        // so no baseline exists yet — and with a bounded cache the
+        // baseline may have been evicted, possibly while its method's
+        // optimized code (the very variant this group must vacate) is
+        // still current. (Re-)materialize a baseline; the compile charge
+        // lands on the application thread, exactly as a first call would
+        // have paid it.
+        Base = VM.ensureBaseline(F.Method);
+      }
     }
     assert(Base != nullptr && "deopt target method has no code");
     // Baseline variants carry no plan; each frame resumes as an ordinary
@@ -160,7 +184,49 @@ bool OsrManager::deoptimize(VirtualMachine &VM, ThreadState &T) {
   VM.chargeMutator(Model.DeoptFrameCycles * NumFrames);
   Stats.TransitionCyclesCharged += Model.DeoptFrameCycles * NumFrames;
   Stats.DeoptFramesRemapped += NumFrames;
-  ++Stats.Deopts;
+}
+
+bool OsrManager::onEvictVariant(VirtualMachine &VM, const CodeVariant &V) {
+  if (!Config.AllowDeopt)
+    return false;
+  for (const auto &TPtr : VM.threads()) {
+    ThreadState &T = *TPtr;
+    for (size_t I = 0; I < T.Frames.size();) {
+      // Inlined frames share their physical root's variant, so scanning
+      // for non-inlined frames on the victim finds every group exactly
+      // once (recursion can produce several groups per thread).
+      if (T.Frames[I].Variant != &V || T.Frames[I].Inlined) {
+        ++I;
+        continue;
+      }
+      size_t End = I + 1;
+      while (End != T.Frames.size() && T.Frames[End].Inlined)
+        ++End;
+
+      Frame &RootF = T.Frames[I];
+      if (RootF.OsrEntered)
+        Stats.CyclesRecoveredEstimate += segmentRecovered(VM, RootF);
+
+      if (TraceSink *Trace = VM.traceSink()) {
+        if (Trace->wants(TraceEventKind::Deopt)) {
+          const Frame &Top = T.Frames[End - 1];
+          TraceEvent &E =
+              Trace->append(TraceEventKind::Deopt, TraceTrackVm, VM.cycles());
+          E.Thread = T.Id;
+          E.Method = V.M;
+          E.A = static_cast<int64_t>(End - I);
+          E.B = Top.PC;
+          E.C = static_cast<int64_t>(V.Level);
+          E.E = Top.Method;
+        }
+      }
+
+      remapGroupToBaseline(VM, T, I, End);
+      ++Stats.Deopts;
+      I = End;
+    }
+  }
+  VM.auditState("evict-deopt");
   return true;
 }
 

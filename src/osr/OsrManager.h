@@ -69,10 +69,24 @@ public:
   bool onStaleBackedge(VirtualMachine &VM, ThreadState &T) override;
   void onOsrFrameReturn(VirtualMachine &VM, ThreadState &T,
                         const Frame &Done) override;
+  /// Forced deoptimization for the bounded code cache: every inline group
+  /// still executing \p V (any thread, any stack position) is
+  /// re-established on baseline frames so the variant can be reclaimed.
+  /// Unlike backedge deopt there is no cost/benefit gate — the cache has
+  /// already decided — but each group still pays DeoptFrameCycles per
+  /// frame. Returns false when Config.AllowDeopt is off (the variant then
+  /// stays pinned).
+  bool onEvictVariant(VirtualMachine &VM, const CodeVariant &V) override;
 
 private:
   bool osrEnter(VirtualMachine &VM, ThreadState &T);
   bool deoptimize(VirtualMachine &VM, ThreadState &T);
+  /// Re-establishes frames [Root, End) of \p T on their source methods'
+  /// baseline variants (materializing missing baselines through
+  /// ensureCompiled), charges DeoptFrameCycles per frame, and updates the
+  /// remap statistics. Shared by backedge deopt and eviction deopt.
+  void remapGroupToBaseline(VirtualMachine &VM, ThreadState &T, size_t Root,
+                            size_t End);
   bool worthTransition(MethodId M, const CodeVariant &From,
                        const CodeVariant &To, uint64_t TransitionCycles,
                        double *Savings) const;

@@ -61,9 +61,11 @@ enum class TraceEventKind : uint8_t {
   /// A deoptimization: a stale inlined frame group re-established on the
   /// baseline variants of its source methods.
   Deopt,
+  /// The bounded code cache reclaiming a variant (capacity pressure).
+  CodeEvict,
 };
 
-constexpr unsigned NumTraceEventKinds = 13;
+constexpr unsigned NumTraceEventKinds = 14;
 
 /// Stable kebab-case names (JSON `name` field, `--trace-filter` tokens).
 const char *traceEventKindName(TraceEventKind K);

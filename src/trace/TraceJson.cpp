@@ -205,6 +205,14 @@ void writeArgs(std::ostream &OS, const TraceSink &Sink, const TraceEvent &E) {
     methodArg(OS, First, "topMethod", Sink, static_cast<uint32_t>(E.E));
     intArg(OS, First, "thread", E.Thread);
     break;
+  case TraceEventKind::CodeEvict:
+    methodArg(OS, First, "method", Sink, E.Method);
+    intArg(OS, First, "level", E.A);
+    intArg(OS, First, "codeBytes", E.B);
+    intArg(OS, First, "serial", E.C);
+    intArg(OS, First, "liveBytes", E.D);
+    intArg(OS, First, "evictionIndex", E.E);
+    break;
   }
   OS << "}";
 }

@@ -45,6 +45,8 @@ const char *aoci::traceEventKindName(TraceEventKind K) {
     return "osr-exit";
   case TraceEventKind::Deopt:
     return "deopt";
+  case TraceEventKind::CodeEvict:
+    return "code-evict";
   }
   return "<invalid>";
 }

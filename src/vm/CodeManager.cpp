@@ -7,10 +7,13 @@
 
 #include "vm/CodeManager.h"
 
+#include "support/Audit.h"
 #include "trace/TraceSink.h"
 #include "vm/Overhead.h"
 
+#include <algorithm>
 #include <cassert>
+#include <string>
 
 using namespace aoci;
 
@@ -75,6 +78,10 @@ const CodeVariant *CodeManager::install(std::unique_ptr<CodeVariant> Variant) {
     if (Existing->M == Ptr->M)
       ++Serial;
   Ptr->SerialNumber = Serial;
+  Ptr->InstallSeq = NextInstallSeq++;
+  // Installation counts as a use: freshly compiled code must not be the
+  // least-recently-used victim before it ever runs.
+  Ptr->LastUsedCycle = Ptr->CompiledAtCycle;
 
   if (Ptr->Level == OptLevel::Baseline) {
     BaseCompileCyclesTotal += Ptr->CompileCycles;
@@ -83,9 +90,14 @@ const CodeVariant *CodeManager::install(std::unique_ptr<CodeVariant> Variant) {
     OptCompileCyclesTotal += Ptr->CompileCycles;
   }
   ++NumCompiles[static_cast<unsigned>(Ptr->Level)];
+  LiveBytes += Ptr->CodeBytes;
+  if (PendingRecompile[Ptr->M]) {
+    ++RecompilesAfterEvict;
+    PendingRecompile[Ptr->M] = 0;
+  }
 
+  const CodeVariant *Prev = Current[Ptr->M];
   if (Trace) {
-    const CodeVariant *Prev = Current[Ptr->M];
     if (Trace->wants(TraceEventKind::CompileComplete)) {
       // A duration event spanning the compile: it started CompileCycles
       // before the installation-time clock value.
@@ -115,10 +127,30 @@ const CodeVariant *CodeManager::install(std::unique_ptr<CodeVariant> Variant) {
       emitPlanSites(*Trace, *Ptr, Ptr->Plan.Root, /*Depth=*/0);
   }
 
-  Current[Ptr->M] = Ptr;
+  // A baseline rematerialized as a deoptimization target (the cache
+  // evicted the original while optimized code was still dispatched) must
+  // not demote the method: the optimized current keeps receiving calls,
+  // and eviction falls back to this baseline if the current goes next.
+  const bool KeepCurrent = Ptr->Level == OptLevel::Baseline &&
+                           Prev != nullptr &&
+                           Prev->Level != OptLevel::Baseline;
+  if (!KeepCurrent)
+    Current[Ptr->M] = Ptr;
   if (Ptr->Level == OptLevel::Baseline)
     Baseline[Ptr->M] = Ptr;
   Variants.push_back(std::move(Variant));
+
+  // Tell the engine before enforcing capacity, so dispatch memos aimed at
+  // the superseded variant are gone by the time an eviction pass audits.
+  if (Delegate)
+    Delegate->onInstalled(*Ptr, KeepCurrent ? nullptr : Prev);
+  enforceCapacity(Ptr);
+  // The high-water mark is taken at install boundaries outside eviction
+  // passes: baselines materialized mid-deopt transiently overshoot until
+  // the triggering pass finishes reclaiming.
+  if (!InEviction && LiveBytes > PeakBytes)
+    PeakBytes = LiveBytes;
+  auditAccounting("install");
   return Ptr;
 }
 
@@ -128,4 +160,117 @@ uint64_t CodeManager::optimizedBytesResident() const {
     if (V && V->Level != OptLevel::Baseline)
       Bytes += V->CodeBytes;
   return Bytes;
+}
+
+namespace {
+
+/// Deterministic victim order: least-recently-invoked first under Lru
+/// (install sequence breaking ties), pure install order under Fifo. Both
+/// keys derive from the simulated clock alone.
+bool victimBefore(EvictPolicy Policy, const CodeVariant &A,
+                  const CodeVariant &B) {
+  if (Policy == EvictPolicy::Lru && A.LastUsedCycle != B.LastUsedCycle)
+    return A.LastUsedCycle < B.LastUsedCycle;
+  return A.InstallSeq < B.InstallSeq;
+}
+
+} // namespace
+
+void CodeManager::enforceCapacity(const CodeVariant *JustInstalled) {
+  if (!Model.CodeCache.enabled() || InEviction)
+    return;
+  if (!Delegate)
+    return; // liveness unknowable: everything is pinned
+  InEviction = true;
+  std::vector<const CodeVariant *> Pinned;
+  while (LiveBytes > Model.CodeCache.CapacityBytes) {
+    CodeVariant *Victim = nullptr;
+    bool VictimPreferred = false;
+    for (const auto &Owned : Variants) {
+      CodeVariant *V = Owned.get();
+      if (V->Evicted || V == JustInstalled ||
+          std::find(Pinned.begin(), Pinned.end(), V) != Pinned.end())
+        continue;
+      // The controller's prefer-keep hook only reorders: preferred
+      // variants lose to any non-preferred candidate, and within a tier
+      // the policy order decides.
+      bool Preferred = PreferKeep && PreferKeep(V->M);
+      if (!Victim || (VictimPreferred && !Preferred) ||
+          (VictimPreferred == Preferred &&
+           victimBefore(Model.CodeCache.Policy, *V, *Victim))) {
+        Victim = V;
+        VictimPreferred = Preferred;
+      }
+    }
+    if (!Victim)
+      break; // every remaining variant is pinned or just installed
+    if (!Delegate->prepareEviction(*Victim)) {
+      Pinned.push_back(Victim);
+      continue;
+    }
+    evict(*Victim);
+  }
+  InEviction = false;
+}
+
+void CodeManager::evict(CodeVariant &V) {
+  assert(!V.Evicted && "double eviction");
+  V.Evicted = true;
+  LiveBytes -= V.CodeBytes;
+  ++Evictions;
+
+  if (Current[V.M] == &V) {
+    // Fall back to the method's baseline if it is still live; otherwise
+    // the method re-enters through ensureCompiled (a recompile).
+    const CodeVariant *Base = Baseline[V.M];
+    Current[V.M] = (Base && Base != &V && !Base->Evicted) ? Base : nullptr;
+  }
+  if (Baseline[V.M] == &V)
+    Baseline[V.M] = nullptr;
+  if (Current[V.M] == nullptr)
+    PendingRecompile[V.M] = 1;
+
+  Delegate->chargeEviction(Model.EvictReclaimCycles);
+
+  if (Trace && Trace->wants(TraceEventKind::CodeEvict)) {
+    TraceEvent &E = Trace->append(TraceEventKind::CodeEvict,
+                                  traceTrack(AosComponent::Compilation),
+                                  Delegate->evictionClock());
+    E.Method = V.M;
+    E.A = static_cast<int64_t>(V.Level);
+    E.B = static_cast<int64_t>(V.CodeBytes);
+    E.C = V.SerialNumber;
+    E.D = static_cast<int64_t>(LiveBytes);
+    E.E = static_cast<int64_t>(Evictions - 1);
+  }
+
+  Delegate->onEvicted(V);
+  auditAccounting("evict");
+}
+
+void CodeManager::auditAccounting(const char *Where) const {
+  if (!audit::enabled())
+    return;
+  uint64_t Sum = 0;
+  for (const auto &V : Variants)
+    if (!V->Evicted)
+      Sum += V->CodeBytes;
+  audit::check(Sum == LiveBytes, "CodeManager",
+               std::string(Where) + ": live-byte ledger " +
+                   std::to_string(LiveBytes) + " != sum of live variants " +
+                   std::to_string(Sum));
+  for (size_t M = 0; M != Current.size(); ++M) {
+    const CodeVariant *C = Current[M];
+    audit::check(!C || (!C->Evicted && C->M == M), "CodeManager",
+                 std::string(Where) + ": current[" + std::to_string(M) +
+                     "] is evicted or mismatched");
+    const CodeVariant *B = Baseline[M];
+    audit::check(!B || (!B->Evicted && B->M == M &&
+                        B->Level == OptLevel::Baseline),
+                 "CodeManager",
+                 std::string(Where) + ": baseline[" + std::to_string(M) +
+                     "] is evicted or mismatched");
+  }
+  audit::check(InEviction || PeakBytes >= LiveBytes, "CodeManager",
+               std::string(Where) + ": peak below live bytes");
 }

@@ -41,6 +41,18 @@ struct CodeVariant {
   uint64_t CompiledAtCycle = 0;
   /// Monotonic per-method recompilation counter (0 = first compile).
   unsigned SerialNumber = 0;
+  /// Global installation sequence number (0 = first install in the run).
+  /// Eviction tie-break key: install order is pure simulated state.
+  unsigned InstallSeq = 0;
+  /// VM clock at the most recent physical invocation (or OSR/deopt
+  /// retarget) of this variant; the bounded cache's LRU key. Mutable
+  /// because stamping an invocation does not change what the code *is*.
+  mutable uint64_t LastUsedCycle = 0;
+  /// True once the bounded cache reclaimed this variant. The object stays
+  /// owned by CodeManager (a tombstone) so any stale pointer into it is a
+  /// detectable audit failure rather than a host use-after-free; only the
+  /// byte ledgers and dispatch tables treat it as gone.
+  bool Evicted = false;
 
   /// Builds every InlineNode's direct-mapped site index (root node over
   /// this method's body, case bodies over their callee's). Called once by

@@ -40,6 +40,36 @@ inline const char *optLevelName(OptLevel L) {
   return "<invalid>";
 }
 
+/// Victim-selection order of the bounded code cache.
+enum class EvictPolicy : uint8_t {
+  /// Least-recently-invoked first, ties broken by install sequence. Both
+  /// keys are pure simulated state, so serial and parallel runs pick the
+  /// same victims.
+  Lru = 0,
+  /// Oldest install sequence first, ignoring use recency.
+  Fifo = 1,
+};
+
+inline const char *evictPolicyName(EvictPolicy P) {
+  switch (P) {
+  case EvictPolicy::Lru:
+    return "lru";
+  case EvictPolicy::Fifo:
+    return "fifo";
+  }
+  return "<invalid>";
+}
+
+/// Bounded-code-cache knob. CapacityBytes == 0 (the default) disables
+/// eviction entirely: CodeManager then behaves exactly like the unbounded
+/// registry and every pre-cache golden reproduces byte-for-byte.
+struct CodeCacheConfig {
+  uint64_t CapacityBytes = 0;
+  EvictPolicy Policy = EvictPolicy::Lru;
+
+  bool enabled() const { return CapacityBytes != 0; }
+};
+
 /// All tunable cycle/byte constants of the simulation.
 struct CostModel {
   //===--------------------------------------------------------------------===//
@@ -87,6 +117,13 @@ struct CostModel {
   /// physical baseline frame.
   uint64_t DeoptFrameCycles = 200;
 
+  /// Cost of reclaiming one evicted variant from the bounded code cache:
+  /// unlinking it from dispatch structures and returning its bytes to the
+  /// allocator. Charged on the application thread (the mutator waits for
+  /// the cache, like a GC pause). An eviction that must deoptimize live
+  /// activations additionally pays DeoptFrameCycles per remapped frame.
+  uint64_t EvictReclaimCycles = 250;
+
   /// Allocation: fixed cost plus a per-slot zeroing cost.
   uint64_t AllocBase = 30;
   uint64_t AllocPerSlot = 2;
@@ -110,6 +147,12 @@ struct CostModel {
   /// Extra machine-size units a guarded inline adds per guard (the test
   /// itself plus the retained fallback call sequence).
   uint64_t GuardSizeUnits = 6;
+
+  /// Bounded code cache (off by default — see CodeCacheConfig). Bounding
+  /// models the code-space pressure the paper's Figure 5 is about:
+  /// evicted methods fall back to baseline (or recompile on re-entry),
+  /// trading mutator cycles for resident bytes.
+  CodeCacheConfig CodeCache;
 
   //===--------------------------------------------------------------------===//
   // Sampling and AOS bookkeeping costs.

@@ -26,6 +26,7 @@ namespace aoci {
 class VirtualMachine;
 struct ThreadState;
 struct Frame;
+struct CodeVariant;
 
 /// Receives interpreter notifications at the two points where activation
 /// transfer is possible: a loop-backedge yieldpoint whose top frame
@@ -48,6 +49,18 @@ public:
   /// driver must not touch the frame stack or the clock here.
   virtual void onOsrFrameReturn(VirtualMachine &VM, ThreadState &T,
                                 const Frame &Done) = 0;
+
+  /// The bounded code cache wants to evict \p V, but some thread has a
+  /// live activation executing it. The driver may deoptimize every such
+  /// activation to baseline frames (reusing the deopt frame mapping) and
+  /// return true; returning false (the default) pins the variant — the
+  /// cache then picks a different victim. Only optimized variants are
+  /// offered: baseline code with live activations is always pinned.
+  virtual bool onEvictVariant(VirtualMachine &VM, const CodeVariant &V) {
+    (void)VM;
+    (void)V;
+    return false;
+  }
 };
 
 } // namespace aoci

@@ -8,6 +8,7 @@
 #include "vm/VirtualMachine.h"
 
 #include "bytecode/Verifier.h"
+#include "support/Audit.h"
 #include "trace/TraceSink.h"
 #include "vm/OsrDriver.h"
 
@@ -20,12 +21,15 @@
 using namespace aoci;
 
 VirtualMachine::VirtualMachine(const Program &P, CostModel Model)
-    : P(P), Model(Model), Hierarchy(P), Code(P),
+    : P(P), Model(Model), Hierarchy(P), Code(P, Model),
       HotData(P.numMethods()), NextSampleAt(Model.SamplePeriodCycles),
       SampleJitter(Model.SampleJitterSeed) {
 #ifndef NDEBUG
   assert(verifyProgram(P).empty() && "program failed verification");
 #endif
+  // Register as the bounded code cache's engine delegate, so capacity is
+  // enforced even for code installed directly through codeManager().
+  Code.setEvictionDelegate(this);
 }
 
 void VirtualMachine::setTraceSink(TraceSink *T) {
@@ -94,6 +98,12 @@ void VirtualMachine::pushFrame(ThreadState &T, MethodId Callee,
               : T.SlabTop - T.Frames.back().StackBase >= Hot.NumArgSlots) &&
          "missing call arguments");
 
+  // A physical invocation is the code cache's recency signal. Simulated
+  // state only (the clock), so eviction order is identical across serial
+  // and parallel runs — and a pure store when the cache is off.
+  if (!Inlined)
+    Variant->LastUsedCycle = Clock;
+
   Frame F;
   F.Method = Callee;
   F.Variant = Variant;
@@ -137,6 +147,16 @@ unsigned VirtualMachine::addThread(MethodId Entry) {
 const CodeVariant *VirtualMachine::ensureCompiled(MethodId M) {
   if (const CodeVariant *V = Code.current(M))
     return V;
+  // No current code (never compiled, or evicted without a live fallback):
+  // baseline-compile. Current == nullptr implies Baseline == nullptr —
+  // eviction only clears Current after the baseline fallback is gone — so
+  // ensureBaseline always compiles here.
+  return ensureBaseline(M);
+}
+
+const CodeVariant *VirtualMachine::ensureBaseline(MethodId M) {
+  if (const CodeVariant *B = Code.baseline(M))
+    return B;
 
   const Method &Meth = P.method(M);
   assert(!Meth.IsAbstract && "cannot compile an abstract method");
@@ -253,6 +273,7 @@ void VirtualMachine::handleCall(ThreadState &T, const Instruction &I) {
   // would pay.
   MethodId Target = DeclId;
   uint64_t DispatchCost = 0;
+  MethodHotData::IcEntry *IcSlot = nullptr;
   if (I.Op == Opcode::InvokeVirtual || I.Op == Opcode::InvokeInterface) {
     const Value &Receiver = T.Slab[T.SlabTop - ArgSlots];
     assert(Receiver.isRef() && "null or non-reference receiver");
@@ -272,7 +293,9 @@ void VirtualMachine::handleCall(ThreadState &T, const Instruction &I) {
       assert(Target != InvalidMethodId && "receiver does not implement method");
       Ic.Receiver = Obj.Klass;
       Ic.Target = Target;
+      Ic.Code = nullptr;
     }
+    IcSlot = &Ic;
     DispatchCost = I.Op == Opcode::InvokeVirtual ? Model.VirtualDispatch
                                                  : Model.InterfaceDispatch;
   }
@@ -308,7 +331,19 @@ void VirtualMachine::handleCall(ThreadState &T, const Instruction &I) {
   }
 
   charge(Model.CallOverhead + DispatchCost);
-  const CodeVariant *V = ensureCompiled(Target);
+  // The inline cache also memoizes the target's code. A hit skips the
+  // ensureCompiled() lookup, which charges nothing for already-compiled
+  // methods — so the memo is cycle-neutral, but ONLY as long as install
+  // and evict drop stale entries (see onInstalled/onEvicted).
+  const CodeVariant *V;
+  if (IcSlot != nullptr && IcSlot->Code != nullptr) {
+    assert(IcSlot->Code == Code.current(Target) && "stale inline-cache code");
+    V = IcSlot->Code;
+  } else {
+    V = ensureCompiled(Target);
+    if (IcSlot != nullptr)
+      IcSlot->Code = V;
+  }
   enterPhysicalFrame(T, Target, V);
   // A physical method entry is a prologue yieldpoint (Section 3.2): if the
   // timer has fired, the edge/trace listeners sample here.
@@ -407,6 +442,12 @@ void VirtualMachine::interpret(ThreadState &T, uint64_t StopClock,
         T.SlabTop = Top;
         maybeDeliverSample(T, /*AtPrologue=*/false);
         if (Osr != nullptr && maybeOsrAtBackedge(T))
+          Refresh = true;
+        // Sample delivery can install code and the bounded cache may then
+        // deoptimize this very frame out of an evicted variant; the remap
+        // swaps F.Cost, so a changed table means the cached view is stale
+        // even when the OSR hook reported no transfer.
+        if (F.Cost != Cost)
           Refresh = true;
       }
     };
@@ -708,6 +749,93 @@ void VirtualMachine::interpret(ThreadState &T, uint64_t StopClock,
     }
     // Frame changed (call or return): loop around to re-derive the cached
     // view. F may dangle here — do not touch it.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CodeEvictionDelegate: the bounded code cache's engine hooks.
+//===----------------------------------------------------------------------===//
+
+bool VirtualMachine::prepareEviction(const CodeVariant &V) {
+  bool Live = false;
+  for (const auto &TPtr : Threads) {
+    for (const Frame &F : TPtr->Frames)
+      if (F.Variant == &V) {
+        Live = true;
+        break;
+      }
+    if (Live)
+      break;
+  }
+  if (!Live)
+    return true;
+
+  // Live activations can only be transferred *to* baseline code, so a
+  // live baseline variant is pinned; so is any live variant when no OSR
+  // driver is attached to do the transfer.
+  if (V.Level == OptLevel::Baseline || Osr == nullptr)
+    return false;
+  if (!Osr->onEvictVariant(*this, V))
+    return false;
+
+  // Trust but verify: the driver claims every activation was deoptimized
+  // out of the variant. A frame still on it means eviction would leave
+  // the interpreter running tombstoned code.
+  for (const auto &TPtr : Threads)
+    for (const Frame &F : TPtr->Frames)
+      if (F.Variant == &V)
+        return false;
+  return true;
+}
+
+void VirtualMachine::invalidateIcMemos(const CodeVariant &V) {
+  for (MethodHotData &Hot : HotData)
+    for (MethodHotData::IcEntry &Ic : Hot.InlineCaches)
+      if (Ic.Code == &V)
+        Ic.Code = nullptr;
+}
+
+void VirtualMachine::onEvicted(const CodeVariant &V) {
+  // The interpreter must never dispatch into reclaimed code: drop every
+  // inline-cache memo that resolved to the evicted variant. Receiver and
+  // Target survive — they are pure functions of the class hierarchy.
+  invalidateIcMemos(V);
+  auditState("evict");
+}
+
+void VirtualMachine::onInstalled(const CodeVariant &Installed,
+                                 const CodeVariant *Superseded) {
+  if (Superseded != nullptr)
+    invalidateIcMemos(*Superseded);
+  auditState("install");
+}
+
+void VirtualMachine::auditState(const char *Where) const {
+  if (!audit::enabled())
+    return;
+  for (const auto &TPtr : Threads) {
+    for (const Frame &F : TPtr->Frames) {
+      audit::check(F.Variant != nullptr && !F.Variant->Evicted, "vm",
+                   std::string(Where) + ": thread " + std::to_string(TPtr->Id) +
+                       " has a frame on evicted code of method " +
+                       std::to_string(F.Variant ? F.Variant->M : F.Method));
+      audit::check(F.Hot != nullptr && F.Body == F.Hot->Body, "vm",
+                   std::string(Where) + ": thread " + std::to_string(TPtr->Id) +
+                       " frame body pointer diverged from hot data of method " +
+                       std::to_string(F.Method));
+    }
+  }
+  for (size_t M = 0; M != HotData.size(); ++M) {
+    for (const MethodHotData::IcEntry &Ic : HotData[M].InlineCaches) {
+      if (Ic.Code == nullptr)
+        continue;
+      audit::check(!Ic.Code->Evicted && Ic.Code->M == Ic.Target &&
+                       Ic.Code == Code.current(Ic.Target),
+                   "vm",
+                   std::string(Where) + ": inline cache in method " +
+                       std::to_string(M) + " memoizes stale code of method " +
+                       std::to_string(Ic.Target));
+    }
   }
 }
 

@@ -70,6 +70,12 @@ struct MethodHotData {
   struct IcEntry {
     ClassId Receiver = InvalidClassId;
     MethodId Target = InvalidMethodId;
+    /// Memoized Target code — the variant the site last dispatched into,
+    /// skipping the ensureCompiled() lookup on a hit. Unlike Receiver and
+    /// Target this is NOT a pure memo: it must be dropped when the
+    /// target's code is superseded or evicted (the classic stale-IC JIT
+    /// bug), which CodeEvictionDelegate::onInstalled/onEvicted do.
+    const CodeVariant *Code = nullptr;
   };
   std::vector<IcEntry> InlineCaches;
 };
@@ -149,8 +155,12 @@ struct ExecutionCounters {
   uint64_t PrologueSamples = 0;
 };
 
-/// The virtual machine.
-class VirtualMachine {
+/// The virtual machine. Privately implements the code manager's eviction
+/// delegate: the bounded code cache asks the VM whether a variant is safe
+/// to reclaim (routing live activations through the OSR driver's deopt),
+/// and the VM drops the dispatch memos that could still reach evicted or
+/// superseded code.
+class VirtualMachine : private CodeEvictionDelegate {
 public:
   /// \p P must outlive the VM and must verify cleanly (asserted in debug
   /// builds).
@@ -226,6 +236,13 @@ public:
   /// invocation). Returns the current variant.
   const CodeVariant *ensureCompiled(MethodId M);
 
+  /// Ensures \p M has a *baseline* variant, (re-)compiling one if the
+  /// cache evicted it — even while an optimized variant is still
+  /// current. Deoptimization needs this: a frame can only be unwound
+  /// onto baseline code, and with a bounded cache the baseline may be
+  /// long gone by the time its method's optimized code is the victim.
+  const CodeVariant *ensureBaseline(MethodId M);
+
   /// The per-PC cycle-charge table of \p M under (\p L, \p Inlined),
   /// built on first use. Exposed for the OSR frame mapper, which must
   /// retarget a frame's cached Cost pointer when it swaps the variant;
@@ -235,7 +252,29 @@ public:
     return costTable(hotData(M), L, Inlined);
   }
 
+  /// Cross-checks the VM-level cache/dispatch invariants (see
+  /// support/Audit.h): no live frame executes evicted code, every frame's
+  /// cached body pointer matches its method's hot data, and every
+  /// inline-cache code memo points at the target's current variant.
+  /// Throws audit::AuditError on violation; no-op unless auditing is
+  /// enabled. The code manager calls this after installs and evictions
+  /// (through the delegate); the OSR manager after transfers.
+  void auditState(const char *Where) const;
+
 private:
+  //===--------------------------------------------------------------------===//
+  // CodeEvictionDelegate (the bounded code cache's engine hooks).
+  //===--------------------------------------------------------------------===//
+
+  uint64_t evictionClock() const override { return Clock; }
+  /// Reclaim work stalls the application thread, like a GC pause.
+  void chargeEviction(uint64_t Cycles) override { chargeMutator(Cycles); }
+  bool prepareEviction(const CodeVariant &V) override;
+  void onEvicted(const CodeVariant &V) override;
+  void onInstalled(const CodeVariant &Installed,
+                   const CodeVariant *Superseded) override;
+  /// Drops every inline-cache code memo that resolves to \p V.
+  void invalidateIcMemos(const CodeVariant &V);
   /// The interpreter's inner loop: executes thread \p T until it finishes,
   /// the clock reaches \p StopClock, or \p MaxInstr instructions have run.
   /// Hot frame state (PC, operand-stack top, body/cost/slab pointers) is

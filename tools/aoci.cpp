@@ -30,11 +30,14 @@
 #include "support/StringUtils.h"
 #include "trace/TraceJson.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 
 using namespace aoci;
@@ -48,21 +51,27 @@ int usage() {
       "  aoci list\n"
       "  aoci table1\n"
       "  aoci run <workload> [--policy P] [--depth N] [--scale X]\n"
-      "           [--seed N] [--osr on|off] [--plans] [--trace-stats]\n"
+      "           [--seed N] [--osr on|off] [--code-cache BYTES]\n"
+      "           [--plans] [--trace-stats]\n"
       "           [--save-profile FILE] [--load-profile FILE]\n"
       "  aoci grid [--workloads a,b] [--policies p,q] [--depths 2,3]\n"
       "            [--scale X] [--trials N] [--jobs N] [--osr on|off]\n"
+      "            [--code-cache BYTES]\n"
       "            [--csv FILE] [--metrics-csv FILE] [--metrics]\n"
       "            [--trace-out FILE] [--trace-filter kinds]\n"
       "            [--report fig4|fig5|fig6|compile|summary|all]\n"
       "  aoci trace <workload> [--trace-out FILE] [--trace-filter kinds]\n"
       "             [--policy P] [--depth N] [--scale X] [--seed N]\n"
       "             [--trials N] [--max-events N] [--osr on|off]\n"
+      "             [--code-cache BYTES]\n"
       "  aoci disasm <workload> [method]\n"
       "policies: cins fixed paramLess class large hybrid1 hybrid2 "
       "imprecision\n"
       "--osr: transfer live activations onto replacement code at loop\n"
       "  backedges (on-stack replacement + deoptimization); default off\n"
+      "--code-cache: bound total installed code bytes; victims are chosen\n"
+      "  deterministically (least-recently-invoked by simulated cycle) and\n"
+      "  live activations deoptimize first; 0 (default) = unbounded\n"
       "trace kinds: comma-separated event names (see OBSERVABILITY.md), "
       "e.g.\n"
       "  --trace-filter sample,controller-decision,compile-complete\n");
@@ -76,6 +85,41 @@ bool parsePolicy(const std::string &Name, PolicyKind &Kind) {
       return true;
     }
   return false;
+}
+
+/// Checked unsigned decimal parse for flag values. std::atoi silently
+/// turned garbage into 0, negatives into huge unsigneds after the cast,
+/// and overflow into undefined behavior; this rejects all three with an
+/// error naming the flag. Requires the whole value to be digits (no
+/// sign, no whitespace, no trailing junk) and at most \p Max.
+bool parseUnsigned(const char *Flag, const std::string &Value, uint64_t Max,
+                   uint64_t &Out) {
+  bool Valid = !Value.empty();
+  for (char C : Value)
+    Valid &= std::isdigit(static_cast<unsigned char>(C)) != 0;
+  errno = 0;
+  char *End = nullptr;
+  const unsigned long long V =
+      Valid ? std::strtoull(Value.c_str(), &End, 10) : 0;
+  if (!Valid || errno == ERANGE || V > Max) {
+    std::fprintf(stderr,
+                 "%s expects an unsigned integer no larger than %llu, "
+                 "got '%s'\n",
+                 Flag, static_cast<unsigned long long>(Max), Value.c_str());
+    return false;
+  }
+  Out = V;
+  return true;
+}
+
+/// parseUnsigned into an `unsigned`-typed destination.
+bool parseUnsigned32(const char *Flag, const std::string &Value,
+                     unsigned &Out) {
+  uint64_t V = 0;
+  if (!parseUnsigned(Flag, Value, std::numeric_limits<unsigned>::max(), V))
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
 }
 
 /// Parses an `--osr on|off` value.
@@ -164,6 +208,7 @@ int cmdRun(int Argc, char **Argv) {
   unsigned Depth = 1;
   WorkloadParams Params;
   AosSystemConfig AosConfig;
+  CostModel Model;
   bool ShowPlans = false, TraceStats = false;
   std::string SaveProfile, LoadProfile;
 
@@ -179,11 +224,19 @@ int cmdRun(int Argc, char **Argv) {
       if (Depth == 1 && Kind != PolicyKind::ContextInsensitive)
         Depth = 4;
     } else if (A.flag("--depth", Value)) {
-      Depth = static_cast<unsigned>(std::atoi(Value.c_str()));
+      if (!parseUnsigned32("--depth", Value, Depth))
+        return 1;
     } else if (A.flag("--scale", Value)) {
       Params.Scale = std::atof(Value.c_str());
     } else if (A.flag("--seed", Value)) {
-      Params.Seed = std::strtoull(Value.c_str(), nullptr, 10);
+      if (!parseUnsigned("--seed", Value,
+                         std::numeric_limits<uint64_t>::max(), Params.Seed))
+        return 1;
+    } else if (A.flag("--code-cache", Value)) {
+      if (!parseUnsigned("--code-cache", Value,
+                         std::numeric_limits<uint64_t>::max(),
+                         Model.CodeCache.CapacityBytes))
+        return 1;
     } else if (A.flag("--save-profile", Value)) {
       SaveProfile = Value;
     } else if (A.flag("--load-profile", Value)) {
@@ -202,7 +255,7 @@ int cmdRun(int Argc, char **Argv) {
   }
 
   Workload W = makeWorkload(WorkloadName, Params);
-  VirtualMachine VM(W.Prog);
+  VirtualMachine VM(W.Prog, Model);
   std::unique_ptr<ContextPolicy> Policy = makePolicy(Kind, Depth);
   AdaptiveSystem Aos(VM, *Policy, AosConfig);
   if (TraceStats)
@@ -262,6 +315,18 @@ int cmdRun(int Argc, char **Argv) {
                 static_cast<unsigned long long>(S.DeoptFramesRemapped),
                 static_cast<unsigned long long>(S.TransitionCyclesCharged),
                 static_cast<unsigned long long>(S.CyclesRecoveredEstimate));
+  }
+  if (Model.CodeCache.enabled()) {
+    const CodeManager &Code = VM.codeManager();
+    std::printf("code cache     %llu live / %llu peak bytes (cap %llu); "
+                "%llu evictions, %llu recompiles after evict\n",
+                static_cast<unsigned long long>(Code.liveCodeBytes()),
+                static_cast<unsigned long long>(Code.peakCodeBytes()),
+                static_cast<unsigned long long>(
+                    Model.CodeCache.CapacityBytes),
+                static_cast<unsigned long long>(Code.numEvictions()),
+                static_cast<unsigned long long>(
+                    Code.recompilesAfterEvict()));
   }
   for (unsigned C = 0; C != NumAosComponents; ++C)
     std::printf("aos %-21s %8.4f%%\n",
@@ -326,15 +391,27 @@ int cmdTrace(int Argc, char **Argv) {
           Config.Policy != PolicyKind::ContextInsensitive)
         Config.MaxDepth = 4;
     } else if (A.flag("--depth", Value)) {
-      Config.MaxDepth = static_cast<unsigned>(std::atoi(Value.c_str()));
+      if (!parseUnsigned32("--depth", Value, Config.MaxDepth))
+        return 1;
     } else if (A.flag("--scale", Value)) {
       Config.Params.Scale = std::atof(Value.c_str());
     } else if (A.flag("--seed", Value)) {
-      Config.Params.Seed = std::strtoull(Value.c_str(), nullptr, 10);
+      if (!parseUnsigned("--seed", Value,
+                         std::numeric_limits<uint64_t>::max(),
+                         Config.Params.Seed))
+        return 1;
     } else if (A.flag("--trials", Value)) {
-      Trials = static_cast<unsigned>(std::atoi(Value.c_str()));
+      if (!parseUnsigned32("--trials", Value, Trials))
+        return 1;
     } else if (A.flag("--max-events", Value)) {
-      MaxEvents = std::strtoull(Value.c_str(), nullptr, 10);
+      if (!parseUnsigned("--max-events", Value,
+                         std::numeric_limits<uint64_t>::max(), MaxEvents))
+        return 1;
+    } else if (A.flag("--code-cache", Value)) {
+      if (!parseUnsigned("--code-cache", Value,
+                         std::numeric_limits<uint64_t>::max(),
+                         Config.Model.CodeCache.CapacityBytes))
+        return 1;
     } else if (A.flag("--osr", Value)) {
       if (!parseOsr(Value, Config.Aos.Osr.Enabled))
         return 1;
@@ -424,15 +501,25 @@ int cmdGrid(int Argc, char **Argv) {
       }
     } else if (A.flag("--depths", Value)) {
       Config.Depths.clear();
-      for (const std::string &D : splitList(Value))
-        Config.Depths.push_back(
-            static_cast<unsigned>(std::atoi(D.c_str())));
+      for (const std::string &D : splitList(Value)) {
+        unsigned Depth = 0;
+        if (!parseUnsigned32("--depths", D, Depth))
+          return 1;
+        Config.Depths.push_back(Depth);
+      }
     } else if (A.flag("--scale", Value)) {
       Config.Params.Scale = std::atof(Value.c_str());
     } else if (A.flag("--trials", Value)) {
-      Config.Trials = static_cast<unsigned>(std::atoi(Value.c_str()));
+      if (!parseUnsigned32("--trials", Value, Config.Trials))
+        return 1;
     } else if (A.flag("--jobs", Value)) {
-      Jobs = static_cast<unsigned>(std::atoi(Value.c_str()));
+      if (!parseUnsigned32("--jobs", Value, Jobs))
+        return 1;
+    } else if (A.flag("--code-cache", Value)) {
+      if (!parseUnsigned("--code-cache", Value,
+                         std::numeric_limits<uint64_t>::max(),
+                         Config.Model.CodeCache.CapacityBytes))
+        return 1;
     } else if (A.flag("--osr", Value)) {
       if (!parseOsr(Value, Config.Aos.Osr.Enabled))
         return 1;

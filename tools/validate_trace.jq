@@ -79,6 +79,12 @@ def typespec:
       tids: [0],
       req: {method: "string", frames: "number", pc: "number",
             fromLevel: "number", topMethod: "string", thread: "number"}
+    },
+    "code-evict": {
+      tids: [2],
+      req: {method: "string", level: "number", codeBytes: "number",
+            serial: "number", liveBytes: "number",
+            evictionIndex: "number"}
     }
   };
 
