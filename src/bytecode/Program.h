@@ -75,10 +75,39 @@ public:
   /// when absent. Intended for tests and examples, not hot paths.
   MethodId findMethod(const std::string &Qualified) const;
 
+  //===--------------------------------------------------------------------===//
+  // Phase markers (scenario workloads).
+  //===--------------------------------------------------------------------===//
+
+  /// Marks \p M as the start marker of workload phase \p Phase. A marker
+  /// is a method the workload's driver invokes exactly once, at the
+  /// moment the phase begins; the VM emits an uncharged `phase-shift`
+  /// trace event when it baseline-compiles one (which, for a
+  /// once-invoked method, happens exactly at that first call).
+  void markPhaseStart(MethodId M, uint32_t Phase) {
+    assert(M < Methods.size() && "method id out of range");
+    PhaseStarts.emplace_back(M, Phase);
+  }
+
+  /// Phase index \p M starts, or -1 when \p M is not a phase marker.
+  int64_t phaseStartOf(MethodId M) const {
+    for (const auto &[Marker, Phase] : PhaseStarts)
+      if (Marker == M)
+        return Phase;
+    return -1;
+  }
+
+  unsigned numPhaseStarts() const {
+    return static_cast<unsigned>(PhaseStarts.size());
+  }
+
 private:
   std::vector<Klass> Classes;
   std::vector<Method> Methods;
   MethodId Entry = InvalidMethodId;
+  /// (marker method, phase index) pairs; tiny, scanned only when a method
+  /// is first baseline-compiled.
+  std::vector<std::pair<MethodId, uint32_t>> PhaseStarts;
 };
 
 } // namespace aoci

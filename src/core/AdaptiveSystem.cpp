@@ -196,14 +196,17 @@ void AdaptiveSystem::dcgOrganizerWakeup() {
 void AdaptiveSystem::decayWakeup() {
   ++Stats.DecayWakeups;
   const size_t Entries = Dcg.numTraces();
-  Dcg.decay(Config.DecayFactor);
+  const size_t Dropped = Dcg.decay(Config.DecayFactor);
   Ctrl.decaySamples();
+  Stats.DecayEntriesScanned += Entries;
+  Stats.DecayEntriesDropped += Dropped;
   VM.chargeAos(AosComponent::DecayOrganizer,
                Config.OrganizerWakeupCost +
                    Config.DecayPerEntryCost * Entries);
   traceWakeup(VM.traceSink(), AosComponent::DecayOrganizer, VM.cycles(),
               OrgDecay, static_cast<int64_t>(Stats.DecayWakeups - 1),
-              static_cast<int64_t>(Entries), /*Acted=*/0);
+              static_cast<int64_t>(Entries),
+              static_cast<int64_t>(Dropped));
 }
 
 void AdaptiveSystem::missingEdgeWakeup() {

@@ -85,6 +85,13 @@ struct AosStats {
   uint64_t MethodOrganizerWakeups = 0;
   uint64_t DcgOrganizerWakeups = 0;
   uint64_t DecayWakeups = 0;
+  /// Decay-organizer visibility: DCG entries scanned across all decay
+  /// wakeups, and how many of those the decay dropped below the
+  /// retention threshold. Under a workload phase flip the dropped count
+  /// spikes as the old phase's traces age out — the scenario tests
+  /// assert exactly that.
+  uint64_t DecayEntriesScanned = 0;
+  uint64_t DecayEntriesDropped = 0;
   uint64_t MissingEdgeWakeups = 0;
   uint64_t ControllerRequests = 0;
   uint64_t MissingEdgeRequests = 0;

@@ -62,14 +62,19 @@ std::string aoci::exportCsv(const GridResults &Results,
 
 std::string aoci::exportMetricsCsv(const GridResults &Results) {
   std::string Out =
-      "workload,policy,max_depth,kind,worker,queue_ns,host_ns,run_cycles\n";
+      "workload,policy,max_depth,kind,worker,queue_ns,host_ns,run_cycles,"
+      "steady,warmup_cycles,steady_cycles\n";
   for (const RunMetrics &M : Results.metrics())
     Out += formatString(
-        "%s,%s,%u,%s,%u,%llu,%llu,%llu\n", M.WorkloadName.c_str(),
+        "%s,%s,%u,%s,%u,%llu,%llu,%llu,%s,%llu,%llu\n",
+        M.WorkloadName.c_str(),
         M.IsBaseline ? "cins" : policyKindName(M.Policy), M.MaxDepth,
         M.IsBaseline ? "baseline" : "cell", M.Worker,
         static_cast<unsigned long long>(M.QueueLatencyNs),
         static_cast<unsigned long long>(M.HostNs),
-        static_cast<unsigned long long>(M.RunCycles));
+        static_cast<unsigned long long>(M.RunCycles),
+        !M.SteadyKnown ? "n/a" : M.SteadyReached ? "yes" : "no",
+        static_cast<unsigned long long>(M.WarmupCycles),
+        static_cast<unsigned long long>(M.SteadyCycles));
   return Out;
 }

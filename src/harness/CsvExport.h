@@ -36,7 +36,9 @@ std::string exportCsv(const GridResults &Results,
 
 /// Renders the harness-side execution record (GridResults::metrics())
 /// as CSV, one row per run in grid order. Columns:
-///   workload,policy,max_depth,kind,worker,queue_ns,host_ns,run_cycles
+///   workload,policy,max_depth,kind,worker,queue_ns,host_ns,run_cycles,
+///   steady,warmup_cycles,steady_cycles
+/// `steady` is n/a for untraced runs (see SteadyState.h), else yes/no.
 /// Kept separate from exportCsv(): simulated results are bit-identical
 /// across thread counts, host timings and worker assignments are not.
 std::string exportMetricsCsv(const GridResults &Results);

@@ -7,10 +7,12 @@
 
 #include "harness/Experiment.h"
 
+#include "harness/SteadyState.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "trace/TraceJson.h"
+#include "workload/scenario/ScenarioWorkload.h"
 
 #include <cassert>
 #include <chrono>
@@ -21,7 +23,9 @@
 using namespace aoci;
 
 RunResult aoci::runExperiment(const RunConfig &Config) {
-  Workload W = makeWorkload(Config.WorkloadName, Config.Params);
+  Workload W = Config.Scenario
+                   ? makeScenarioWorkload(*Config.Scenario, Config.Params)
+                   : makeWorkload(Config.WorkloadName, Config.Params);
   VirtualMachine VM(W.Prog, Config.Model);
   // Attach the trace sink before the first addThread() so lazy baseline
   // compilations of the entry methods are captured too.
@@ -96,6 +100,9 @@ uint64_t aoci::deriveRunSeed(const RunConfig &Config, unsigned Trial) {
   };
   for (char C : Config.WorkloadName)
     MixByte(static_cast<unsigned char>(C));
+  if (Config.Scenario)
+    for (char C : printScenario(*Config.Scenario))
+      MixByte(static_cast<unsigned char>(C));
   Mix(static_cast<uint64_t>(Config.Policy));
   Mix(Config.MaxDepth);
   Mix(Config.Params.Seed);
@@ -250,6 +257,17 @@ RunMetrics makeMetrics(const PlannedRun &Run, const RunResult &Result,
   M.OsrEntries = Result.OsrEntries;
   M.Deopts = Result.Deopts;
   M.Evictions = Result.Evictions;
+  // The steady/warmup split comes from the run's own trace stream; a
+  // grid without tracing (or with a filter missing the needed kinds)
+  // reports the verdict as unknown rather than guessing.
+  if (Run.Config.Trace) {
+    const SteadyStateResult S =
+        detectSteadyState(*Run.Config.Trace, Result.WallCycles);
+    M.SteadyKnown = S.Computed;
+    M.SteadyReached = S.Reached;
+    M.WarmupCycles = S.WarmupCycles;
+    M.SteadyCycles = S.SteadyCycles;
+  }
   return M;
 }
 

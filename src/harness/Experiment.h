@@ -21,10 +21,12 @@
 #include "profile/TraceStatistics.h"
 #include "trace/TraceSink.h"
 #include "workload/Workload.h"
+#include "workload/scenario/ScenarioSpec.h"
 
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,13 @@ struct RunConfig {
   /// Emission charges zero simulated cycles, so results are identical
   /// with or without a sink attached (see OBSERVABILITY.md).
   TraceSink *Trace = nullptr;
+  /// When set, the run executes this ad-hoc scenario (compiled via
+  /// makeScenarioWorkload) instead of looking WorkloadName up in the
+  /// registry; WorkloadName is only used for reporting then. The spec's
+  /// canonical bytes feed deriveRunSeed(), so two different specs never
+  /// share a jitter stream. Shared (not owned) so RunConfigs stay
+  /// cheaply copyable across grid plans and fuzz trials.
+  std::shared_ptr<const ScenarioSpec> Scenario;
 };
 
 /// Everything measured in one run.
@@ -158,6 +167,15 @@ struct RunMetrics {
   uint64_t Deopts = 0;
   /// Code-cache evictions of the best trial (zero with the cache off).
   uint64_t Evictions = 0;
+  /// Steady-state verdict for the best trial (see SteadyState.h). Known
+  /// only when the run traced the kinds detection needs
+  /// (steadyStateKindMask()); SteadyReached/Warmup/Steady are meaningful
+  /// only when known. Appended to the metrics CSV as
+  /// `steady,warmup_cycles,steady_cycles`.
+  bool SteadyKnown = false;
+  bool SteadyReached = false;
+  uint64_t WarmupCycles = 0;
+  uint64_t SteadyCycles = 0;
 };
 
 /// The benchmark x policy x depth sweep.

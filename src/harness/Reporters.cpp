@@ -219,6 +219,7 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
   uint64_t TotalOsrEntries = 0, TotalDeopts = 0;
   uint64_t TotalEvictions = 0;
   unsigned MaxWorker = 0;
+  unsigned SteadyKnown = 0, SteadyReached = 0;
   for (const RunMetrics &M : Metrics) {
     Rows.push_back(
         {M.WorkloadName,
@@ -226,18 +227,25 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
          formatString("%u", M.MaxDepth), formatString("%u", M.Worker),
          formatString("%.1f", static_cast<double>(M.QueueLatencyNs) / 1e3),
          formatString("%.2f", static_cast<double>(M.HostNs) / 1e6),
-         formatString("%.2f", static_cast<double>(M.RunCycles) / 1e6)});
+         formatString("%.2f", static_cast<double>(M.RunCycles) / 1e6),
+         !M.SteadyKnown    ? "n/a"
+         : !M.SteadyReached ? "no"
+                            : formatString(
+                                  "%.2f",
+                                  static_cast<double>(M.WarmupCycles) / 1e6)});
     TotalHostNs += M.HostNs;
     TotalQueueNs += M.QueueLatencyNs;
     TotalCycles += M.RunCycles;
     TotalOsrEntries += M.OsrEntries;
     TotalDeopts += M.Deopts;
     TotalEvictions += M.Evictions;
+    SteadyKnown += M.SteadyKnown;
+    SteadyReached += M.SteadyReached;
     MaxWorker = std::max(MaxWorker, M.Worker);
   }
   std::string Out = "Harness run metrics (host-side; not deterministic)\n";
   Out += renderTable({"workload", "policy", "max", "worker", "queue us",
-                      "host ms", "Mcycles"},
+                      "host ms", "Mcycles", "warm Mcy"},
                      Rows);
   if (Metrics.empty())
     return Out;
@@ -259,5 +267,10 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
     Out += formatString(
         "  code cache: %llu evictions across the sweep\n",
         static_cast<unsigned long long>(TotalEvictions));
+  if (SteadyKnown != 0)
+    Out += formatString(
+        "  steady state: %u of %u traced runs settled (warm Mcy column "
+        "is the warmup cost before the split)\n",
+        SteadyReached, SteadyKnown);
   return Out;
 }

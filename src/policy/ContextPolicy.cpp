@@ -66,6 +66,15 @@ const char *aoci::policyKindName(PolicyKind K) {
   return "<invalid>";
 }
 
+bool aoci::parsePolicyKind(const std::string &Name, PolicyKind &K) {
+  for (PolicyKind Candidate : allPolicyKinds())
+    if (Name == policyKindName(Candidate)) {
+      K = Candidate;
+      return true;
+    }
+  return false;
+}
+
 std::string FixedPolicy::name() const {
   return formatString("fixed(max=%u)", maxDepth());
 }

@@ -116,6 +116,10 @@ const std::vector<PolicyKind> &allPolicyKinds();
 /// "large", "hybrid1", "hybrid2", "imprecision").
 const char *policyKindName(PolicyKind K);
 
+/// Parses a policyKindName() string. Returns false on unknown names.
+/// Shared by the CLI flag parsers and the scenario-expectation decoder.
+bool parsePolicyKind(const std::string &Name, PolicyKind &K);
+
 //===----------------------------------------------------------------------===//
 // Concrete policies
 //===----------------------------------------------------------------------===//

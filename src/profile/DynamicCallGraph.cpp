@@ -24,18 +24,21 @@ double DynamicCallGraph::weight(const Trace &T) const {
   return It == Weights.end() ? 0 : It->second;
 }
 
-void DynamicCallGraph::decay(double Factor, double DropBelow) {
+size_t DynamicCallGraph::decay(double Factor, double DropBelow) {
   assert(Factor > 0 && Factor <= 1 && "decay factor out of range");
   Total = 0;
+  size_t Dropped = 0;
   for (auto It = Weights.begin(); It != Weights.end();) {
     It->second *= Factor;
     if (It->second < DropBelow) {
       It = Weights.erase(It);
+      ++Dropped;
       continue;
     }
     Total += It->second;
     ++It;
   }
+  return Dropped;
 }
 
 void DynamicCallGraph::forEach(

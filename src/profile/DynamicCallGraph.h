@@ -42,7 +42,9 @@ public:
 
   /// Multiplies every weight by \p Factor (0 < Factor <= 1), dropping
   /// entries that fall below \p DropBelow to bound table growth.
-  void decay(double Factor, double DropBelow = 0.01);
+  /// Returns the number of entries dropped, which the decay organizer
+  /// surfaces as its `acted` count.
+  size_t decay(double Factor, double DropBelow = 0.01);
 
   /// Invokes \p Fn for every (trace, weight) pair. Iteration order is
   /// unspecified; callers that need determinism must sort.

@@ -63,9 +63,14 @@ enum class TraceEventKind : uint8_t {
   Deopt,
   /// The bounded code cache reclaiming a variant (capacity pressure).
   CodeEvict,
+  /// A workload phase transition: the first baseline compilation of a
+  /// phase-start marker method (see Program::markPhaseStart). Emitted
+  /// uncharged by scenario workloads; the steady-state detector uses it
+  /// to keep warmup from being declared over while phases still flip.
+  PhaseShift,
 };
 
-constexpr unsigned NumTraceEventKinds = 14;
+constexpr unsigned NumTraceEventKinds = 15;
 
 /// Stable kebab-case names (JSON `name` field, `--trace-filter` tokens).
 const char *traceEventKindName(TraceEventKind K);

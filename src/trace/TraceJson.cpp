@@ -213,6 +213,11 @@ void writeArgs(std::ostream &OS, const TraceSink &Sink, const TraceEvent &E) {
     intArg(OS, First, "liveBytes", E.D);
     intArg(OS, First, "evictionIndex", E.E);
     break;
+  case TraceEventKind::PhaseShift:
+    methodArg(OS, First, "method", Sink, E.Method);
+    intArg(OS, First, "phase", E.A);
+    intArg(OS, First, "phases", E.B);
+    break;
   }
   OS << "}";
 }

@@ -47,6 +47,8 @@ const char *aoci::traceEventKindName(TraceEventKind K) {
     return "deopt";
   case TraceEventKind::CodeEvict:
     return "code-evict";
+  case TraceEventKind::PhaseShift:
+    return "phase-shift";
   }
   return "<invalid>";
 }

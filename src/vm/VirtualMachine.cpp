@@ -161,6 +161,20 @@ const CodeVariant *VirtualMachine::ensureBaseline(MethodId M) {
   const Method &Meth = P.method(M);
   assert(!Meth.IsAbstract && "cannot compile an abstract method");
 
+  // Phase-start markers are invoked exactly once, so their one baseline
+  // compilation pins the simulated cycle the phase began at. Uncharged,
+  // like all trace emission: the clock is stamped before the compile
+  // cost is charged below, and nothing else changes.
+  if (Trace && Trace->wants(TraceEventKind::PhaseShift)) {
+    if (const int64_t Phase = P.phaseStartOf(M); Phase >= 0) {
+      TraceEvent &E =
+          Trace->append(TraceEventKind::PhaseShift, TraceTrackVm, Clock);
+      E.Method = M;
+      E.A = Phase;
+      E.B = P.numPhaseStarts();
+    }
+  }
+
   auto V = std::make_unique<CodeVariant>();
   V->M = M;
   V->Level = OptLevel::Baseline;

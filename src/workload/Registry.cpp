@@ -7,6 +7,8 @@
 
 #include "workload/Workload.h"
 
+#include "workload/scenario/ScenarioWorkload.h"
+
 #include <cassert>
 
 using namespace aoci;
@@ -35,6 +37,11 @@ Workload aoci::makeWorkload(const std::string &Name, WorkloadParams Params) {
     return makeJack(Params);
   if (Name == "SPECjbb2000")
     return makeJbb(Params);
+  // Built-in adversarial scenarios ("scn-...") are addressable wherever a
+  // workload name is, but stay out of workloadNames() so the Table 1 grid
+  // and its fingerprint goldens are unchanged.
+  if (const ScenarioSpec *S = findBuiltinScenario(Name))
+    return makeScenarioWorkload(*S, Params);
   assert(false && "unknown workload name");
   return Workload();
 }

@@ -1,0 +1,101 @@
+//===- workload/scenario/ScenarioMutator.cpp - Seeded spec mutation ---------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/scenario/ScenarioMutator.h"
+
+#include <algorithm>
+
+using namespace aoci;
+
+namespace {
+
+/// Multiplies or divides by a small factor, staying >= 1.
+uint64_t perturbScale(Rng &R, uint64_t V, uint64_t Factor) {
+  return R.nextBool(0.5) ? V * Factor : std::max<uint64_t>(1, V / Factor);
+}
+
+/// Nudges an unsigned knob by +/-1 (or +1 when at zero).
+unsigned nudge(Rng &R, unsigned V) {
+  if (V == 0 || R.nextBool(0.5))
+    return V + 1;
+  return V - 1;
+}
+
+} // namespace
+
+bool ScenarioMutator::mutateOnce(ScenarioSpec &S) {
+  // Structural mutations first: duplicate or drop a phase.
+  const unsigned Op = static_cast<unsigned>(R.nextBelow(10));
+  const size_t NumPhases = S.Phases.size();
+  const size_t At = R.nextBelow(NumPhases);
+  PhaseSpec &P = S.Phases[At];
+
+  switch (Op) {
+  case 0: { // duplicate a phase (with a shape twist so it is not inert)
+    if (NumPhases >= 4)
+      return false;
+    PhaseSpec Copy = P;
+    Copy.Shape = static_cast<PhaseShape>((static_cast<unsigned>(Copy.Shape) +
+                                          1 + R.nextBelow(2)) %
+                                         3);
+    S.Phases.insert(S.Phases.begin() + At, Copy);
+    return true;
+  }
+  case 1: // drop a phase
+    if (NumPhases <= 1)
+      return false;
+    S.Phases.erase(S.Phases.begin() + At);
+    return true;
+  case 2:
+    P.Iterations = perturbScale(R, P.Iterations, 2);
+    return true;
+  case 3:
+    P.Megamorphism = nudge(R, P.Megamorphism);
+    return true;
+  case 4:
+    P.Depth = nudge(R, P.Depth);
+    return true;
+  case 5: // allocation bursts move in steps of 8; single objects are noise
+    P.AllocBurst = R.nextBool(0.5) ? P.AllocBurst + 8
+                                   : (P.AllocBurst >= 8 ? P.AllocBurst - 8 : 0);
+    return true;
+  case 6: // churn moves in steps of 4 for the same reason
+    P.MethodChurn = R.nextBool(0.5)
+                        ? P.MethodChurn + 4
+                        : (P.MethodChurn >= 4 ? P.MethodChurn - 4 : 0);
+    return true;
+  case 7: {
+    const PhaseShape Old = P.Shape;
+    P.Shape = static_cast<PhaseShape>(
+        (static_cast<unsigned>(P.Shape) + 1 + R.nextBelow(2)) % 3);
+    return P.Shape != Old;
+  }
+  case 8:
+    P.WorkUnits = perturbScale(R, P.WorkUnits, 2);
+    return true;
+  default:
+    P.Iterations = perturbScale(R, P.Iterations, 4);
+    return true;
+  }
+}
+
+ScenarioSpec ScenarioMutator::mutate(const ScenarioSpec &S) {
+  ScenarioSpec Out = S;
+  for (unsigned Attempt = 0; Attempt != 8; ++Attempt) {
+    ScenarioSpec Candidate = S;
+    if (mutateOnce(Candidate)) {
+      Out = clampScenario(std::move(Candidate));
+      if (!(Out == clampScenario(S)))
+        return Out;
+    }
+  }
+  // Every roll was a clamp-level no-op; force a visible change.
+  Out = S;
+  Out.Phases.front().Iterations =
+      std::max<uint64_t>(1, Out.Phases.front().Iterations / 2);
+  return clampScenario(std::move(Out));
+}

@@ -1,0 +1,47 @@
+//===- workload/scenario/ScenarioMutator.h - Seeded spec mutation -*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random mutation over ScenarioSpecs, the search move of the
+/// policy-differential fuzzer (`aoci fuzz`). Mutations are small (one
+/// knob or one phase at a time), always produce a clamped, valid spec,
+/// and are a pure function of the mutator's seed stream — the same seed
+/// visits the same specs in the same order, which is what makes fuzz runs
+/// replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_WORKLOAD_SCENARIO_SCENARIOMUTATOR_H
+#define AOCI_WORKLOAD_SCENARIO_SCENARIOMUTATOR_H
+
+#include "support/Rng.h"
+#include "workload/scenario/ScenarioSpec.h"
+
+namespace aoci {
+
+/// Seeded spec mutator. Each mutate() call applies one randomly chosen
+/// structural or knob mutation and returns the clamped result.
+class ScenarioMutator {
+public:
+  explicit ScenarioMutator(uint64_t Seed) : R(Seed ^ 0x4d757461746f72ULL) {}
+
+  /// Returns a mutated copy of \p S (never \p S itself: mutations that
+  /// would be no-ops re-roll a bounded number of times, then fall back to
+  /// perturbing the first phase's iteration count).
+  ScenarioSpec mutate(const ScenarioSpec &S);
+
+private:
+  /// Applies one random mutation in place; returns false when the pick
+  /// was a no-op (e.g. removing a phase from a one-phase spec).
+  bool mutateOnce(ScenarioSpec &S);
+
+  Rng R;
+};
+
+} // namespace aoci
+
+#endif // AOCI_WORKLOAD_SCENARIO_SCENARIOMUTATOR_H

@@ -1,0 +1,39 @@
+//===- workload/scenario/ScenarioWorkload.h - Spec -> Workload ---*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a ScenarioSpec into a runnable Workload: one shared receiver
+/// hierarchy sized to the widest phase's megamorphism, a rotation of
+/// straight-line churn methods sized to the widest churn rate, and one
+/// kernel per phase in the spec's call-graph shape. Each phase starts by
+/// invoking a once-called marker method registered with
+/// Program::markPhaseStart, so a tracing run emits one uncharged
+/// `phase-shift` event exactly at every transition.
+///
+/// Compilation is a pure function of (spec, params): the same spec and
+/// seed produce byte-identical programs, which is what makes fuzz-found
+/// `.scn` reproducers replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_WORKLOAD_SCENARIO_SCENARIOWORKLOAD_H
+#define AOCI_WORKLOAD_SCENARIO_SCENARIOWORKLOAD_H
+
+#include "workload/Workload.h"
+#include "workload/scenario/ScenarioSpec.h"
+
+namespace aoci {
+
+/// Builds the workload for \p Spec (clamped first). \p Params.Scale
+/// multiplies every phase's iteration count; \p Params.Seed seeds the
+/// procedural cold library.
+Workload makeScenarioWorkload(const ScenarioSpec &Spec,
+                              WorkloadParams Params);
+
+} // namespace aoci
+
+#endif // AOCI_WORKLOAD_SCENARIO_SCENARIOWORKLOAD_H

@@ -119,6 +119,19 @@ TEST(GoldenTest, MetricsCsvFormat) {
   M.QueueLatencyNs = 800;
   M.HostNs = 3900000;
   M.RunCycles = 980000;
+  M.SteadyKnown = true;
+  M.SteadyReached = true;
+  M.WarmupCycles = 120000;
+  M.SteadyCycles = 860000;
+  Results.addMetrics(M);
+  M.MaxDepth = 4;
+  M.Worker = 1;
+  M.QueueLatencyNs = 950;
+  M.HostNs = 4100000;
+  M.RunCycles = 990000;
+  M.SteadyReached = false;
+  M.WarmupCycles = 990000;
+  M.SteadyCycles = 0;
   Results.addMetrics(M);
   expectMatchesGolden("metrics_csv.golden", exportMetricsCsv(Results));
 }

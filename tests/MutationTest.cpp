@@ -13,10 +13,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "bytecode/Verifier.h"
+#include "harness/Experiment.h"
+#include "support/Audit.h"
 #include "support/Rng.h"
 #include "vm/VirtualMachine.h"
 #include "workload/FigureOne.h"
 #include "workload/Workload.h"
+#include "workload/scenario/ScenarioSpec.h"
 
 #include <gtest/gtest.h>
 
@@ -114,6 +117,49 @@ TEST_P(MutationFuzzTest, TypePreservingMutantsRunSafely) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzzTest,
                          ::testing::Values(71, 72, 73, 74));
+
+TEST(MutationTest, ChurnScenarioSurvivesEvictionPlusOsrAudited) {
+  // Closes a long-standing coverage gap: nothing here ever exercised
+  // eviction and OSR/deopt in the same run. The cache-churn adversary
+  // rotates a wide warm set through a small cache while OSR transfers
+  // live loops onto (and deopt peels them off) freshly installed
+  // variants — evict, deopt, recompile-on-reentry all interleave. The
+  // PR 5 audit invariants (code-cache ledger, OSR frame remapping,
+  // organizer drains) must hold through the whole interleaving, in
+  // Release builds too, so force auditing on as AOCI_AUDIT=1 would.
+  const bool WasAudited = audit::enabled();
+  audit::setEnabled(true);
+  RunConfig Config;
+  Config.WorkloadName = "scn-cache-churn";
+  Config.Policy = PolicyKind::Fixed;
+  Config.MaxDepth = 3;
+  Config.Params.Scale = 0.5;
+  Config.Aos.Osr.Enabled = true;
+  Config.Model.CodeCache.CapacityBytes = 6000;
+
+  RunResult R;
+  try {
+    R = runExperiment(Config);
+  } catch (const audit::AuditError &E) {
+    audit::setEnabled(WasAudited);
+    FAIL() << "audit invariant violated under eviction+OSR churn: "
+           << E.what();
+  }
+  EXPECT_GT(R.Evictions, 0u) << "the churn set must overflow the cache";
+  EXPECT_GT(R.RecompilesAfterEvict, 0u)
+      << "re-entering an evicted churn method must recompile it";
+  EXPECT_GT(R.OsrEntries + R.Deopts, 0u)
+      << "OSR/deopt must actually fire alongside eviction";
+
+  // The interleaving is a pure function of the configuration.
+  RunResult Again = runExperiment(Config);
+  audit::setEnabled(WasAudited);
+  EXPECT_EQ(R.WallCycles, Again.WallCycles);
+  EXPECT_EQ(R.Evictions, Again.Evictions);
+  EXPECT_EQ(R.OsrEntries, Again.OsrEntries);
+  EXPECT_EQ(R.Deopts, Again.Deopts);
+  EXPECT_EQ(R.ProgramResult, Again.ProgramResult);
+}
 
 TEST(MutationTest, EveryWorkloadSurvivesHarmlessWorkMutations) {
   // Scaling Work magnitudes never invalidates a program; the verifier

@@ -24,17 +24,23 @@
 #include "bytecode/Disassembler.h"
 #include "harness/CsvExport.h"
 #include "harness/Experiment.h"
+#include "harness/Fuzzer.h"
 #include "harness/Reporters.h"
+#include "harness/SteadyState.h"
 #include "opt/PlanPrinter.h"
 #include "profile/ProfileIo.h"
 #include "support/StringUtils.h"
 #include "trace/TraceJson.h"
+#include "workload/scenario/ScenarioSpec.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -65,8 +71,25 @@ int usage() {
       "             [--trials N] [--max-events N] [--osr on|off]\n"
       "             [--code-cache BYTES]\n"
       "  aoci disasm <workload> [method]\n"
+      "  aoci fuzz [--seed N] [--budget N] [--policy-a P] [--depth-a N]\n"
+      "            [--policy-b P] [--depth-b N] [--threshold PCT]\n"
+      "            [--scale X] [--workload-seed N] [--code-cache BYTES]\n"
+      "            [--osr on|off] [--max-diffs N] [--out DIR] [--known DIR]\n"
+      "  aoci replay <file.scn>\n"
+      "  aoci steady [--workloads a,b] [--policy P] [--depth N]\n"
+      "              [--scale X] [--seed N] [--trials N] [--osr on|off]\n"
+      "              [--code-cache BYTES] [--json FILE]\n"
       "policies: cins fixed paramLess class large hybrid1 hybrid2 "
       "imprecision\n"
+      "workloads: Table 1 names plus the built-in adversarial scenarios\n"
+      "  (scn-megamorphic-storm, scn-phase-flip, scn-alloc-burst,\n"
+      "  scn-cache-churn)\n"
+      "fuzz: searches seeded scenario mutations for runs where policy A\n"
+      "  beats policy B by more than the threshold; shrinks each finding\n"
+      "  and writes replayable .scn reproducers (--out). With --known DIR\n"
+      "  the exit status is 1 iff a differential not in DIR was found.\n"
+      "steady: runs each workload traced and reports the warmup/steady\n"
+      "  split; exit status is 1 unless every run reached steady state.\n"
       "--osr: transfer live activations onto replacement code at loop\n"
       "  backedges (on-stack replacement + deoptimization); default off\n"
       "--code-cache: bound total installed code bytes; victims are chosen\n"
@@ -79,12 +102,16 @@ int usage() {
 }
 
 bool parsePolicy(const std::string &Name, PolicyKind &Kind) {
-  for (PolicyKind K : allPolicyKinds())
-    if (Name == policyKindName(K)) {
-      Kind = K;
+  return parsePolicyKind(Name, Kind);
+}
+
+/// True when \p Name is runnable: a Table 1 workload or a built-in
+/// adversarial scenario.
+bool knownWorkload(const std::string &Name) {
+  for (const std::string &W : workloadNames())
+    if (W == Name)
       return true;
-    }
-  return false;
+  return findBuiltinScenario(Name) != nullptr;
 }
 
 /// Checked unsigned decimal parse for flag values. std::atoi silently
@@ -178,6 +205,11 @@ int cmdList() {
     Workload W = makeWorkload(Name, WorkloadParams{1, 0.01});
     std::printf("%-12s %s\n", Name.c_str(), W.Description.c_str());
   }
+  std::printf("adversarial scenarios:\n");
+  for (const std::string &Name : scenarioNames()) {
+    Workload W = makeWorkload(Name, WorkloadParams{1, 0.01});
+    std::printf("%-22s %s\n", Name.c_str(), W.Description.c_str());
+  }
   return 0;
 }
 
@@ -196,10 +228,7 @@ int cmdRun(int Argc, char **Argv) {
   if (Argc < 3)
     return usage();
   std::string WorkloadName = Argv[2];
-  bool Known = false;
-  for (const std::string &Name : workloadNames())
-    Known |= Name == WorkloadName;
-  if (!Known) {
+  if (!knownWorkload(WorkloadName)) {
     std::fprintf(stderr, "unknown workload '%s'\n", WorkloadName.c_str());
     return 1;
   }
@@ -426,10 +455,7 @@ int cmdTrace(int Argc, char **Argv) {
     std::fprintf(stderr, "trace: missing workload operand\n");
     return usage();
   }
-  bool Known = false;
-  for (const std::string &Name : workloadNames())
-    Known |= Name == Config.WorkloadName;
-  if (!Known) {
+  if (!knownWorkload(Config.WorkloadName)) {
     std::fprintf(stderr, "unknown workload '%s'\n",
                  Config.WorkloadName.c_str());
     return 1;
@@ -608,6 +634,285 @@ int cmdGrid(int Argc, char **Argv) {
   return 0;
 }
 
+/// Reads and parses one `.scn` file; reports errors to stderr.
+bool loadScenarioFile(const std::filesystem::path &Path, ScenarioSpec &Spec) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "cannot read '%s'\n", Path.string().c_str());
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Error;
+  if (!parseScenario(Buffer.str(), Spec, Error)) {
+    std::fprintf(stderr, "%s: %s\n", Path.string().c_str(), Error.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Parses every `*.scn` under \p Dir (sorted by filename, so results are
+/// stable across filesystems). Returns false on any parse error.
+bool loadScenarioDir(const std::string &Dir,
+                     std::vector<ScenarioSpec> &Specs) {
+  std::error_code Ec;
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, Ec))
+    if (Entry.path().extension() == ".scn")
+      Files.push_back(Entry.path());
+  if (Ec) {
+    std::fprintf(stderr, "cannot list '%s': %s\n", Dir.c_str(),
+                 Ec.message().c_str());
+    return false;
+  }
+  std::sort(Files.begin(), Files.end());
+  for (const auto &Path : Files) {
+    ScenarioSpec Spec;
+    if (!loadScenarioFile(Path, Spec))
+      return false;
+    Specs.push_back(std::move(Spec));
+  }
+  return true;
+}
+
+int cmdFuzz(int Argc, char **Argv) {
+  FuzzConfig Config;
+  std::string OutDir, KnownDir;
+  Args A{Argc, Argv};
+  while (!A.done()) {
+    std::string Value;
+    if (A.flag("--seed", Value)) {
+      if (!parseUnsigned("--seed", Value,
+                         std::numeric_limits<uint64_t>::max(), Config.Seed))
+        return 1;
+    } else if (A.flag("--budget", Value)) {
+      if (!parseUnsigned32("--budget", Value, Config.Budget))
+        return 1;
+    } else if (A.flag("--policy-a", Value)) {
+      if (!parsePolicy(Value, Config.PolicyA)) {
+        std::fprintf(stderr, "unknown policy '%s'\n", Value.c_str());
+        return 1;
+      }
+    } else if (A.flag("--depth-a", Value)) {
+      if (!parseUnsigned32("--depth-a", Value, Config.DepthA))
+        return 1;
+    } else if (A.flag("--policy-b", Value)) {
+      if (!parsePolicy(Value, Config.PolicyB)) {
+        std::fprintf(stderr, "unknown policy '%s'\n", Value.c_str());
+        return 1;
+      }
+    } else if (A.flag("--depth-b", Value)) {
+      if (!parseUnsigned32("--depth-b", Value, Config.DepthB))
+        return 1;
+    } else if (A.flag("--threshold", Value)) {
+      Config.ThresholdPct = std::atof(Value.c_str());
+    } else if (A.flag("--scale", Value)) {
+      Config.Params.Scale = std::atof(Value.c_str());
+    } else if (A.flag("--workload-seed", Value)) {
+      if (!parseUnsigned("--workload-seed", Value,
+                         std::numeric_limits<uint64_t>::max(),
+                         Config.Params.Seed))
+        return 1;
+    } else if (A.flag("--code-cache", Value)) {
+      if (!parseUnsigned("--code-cache", Value,
+                         std::numeric_limits<uint64_t>::max(),
+                         Config.Model.CodeCache.CapacityBytes))
+        return 1;
+    } else if (A.flag("--osr", Value)) {
+      if (!parseOsr(Value, Config.Aos.Osr.Enabled))
+        return 1;
+    } else if (A.flag("--max-diffs", Value)) {
+      if (!parseUnsigned32("--max-diffs", Value, Config.MaxDifferentials))
+        return 1;
+    } else if (A.flag("--out", Value)) {
+      OutDir = Value;
+    } else if (A.flag("--known", Value)) {
+      KnownDir = Value;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Argv[A.Pos]);
+      return usage();
+    }
+  }
+
+  // The corpus of already-known findings, keyed on the canonical spec
+  // (name and expect block stripped), so a rename is not "new".
+  std::vector<std::string> KnownKeys;
+  if (!KnownDir.empty()) {
+    std::vector<ScenarioSpec> Corpus;
+    if (!loadScenarioDir(KnownDir, Corpus))
+      return 1;
+    for (const ScenarioSpec &S : Corpus)
+      KnownKeys.push_back(scenarioSearchKey(S));
+    std::fprintf(stderr, "loaded %zu known reproducer(s) from %s\n",
+                 KnownKeys.size(), KnownDir.c_str());
+  }
+
+  FuzzResults Results = runFuzz(Config, [](const std::string &Line) {
+    std::fprintf(stderr, "%s\n", Line.c_str());
+  });
+  std::fprintf(stderr,
+               "fuzz: %u candidate(s), %llu run(s), %zu differential(s)\n",
+               Results.CandidatesTried,
+               static_cast<unsigned long long>(Results.TotalRuns),
+               Results.Differentials.size());
+
+  bool FoundNew = false;
+  for (const FuzzDifferential &D : Results.Differentials) {
+    const std::string Text = printScenario(D.Spec);
+    const bool Known =
+        std::find(KnownKeys.begin(), KnownKeys.end(),
+                  scenarioSearchKey(D.Spec)) != KnownKeys.end();
+    if (!KnownDir.empty() && !Known)
+      FoundNew = true;
+    std::printf("# %s: %s %+.2f%% over %s (shrunk from %+.2f%%)%s\n%s\n",
+                D.Spec.Name.c_str(), D.Spec.Expect.PolicyA.c_str(),
+                D.DeltaPct, D.Spec.Expect.PolicyB.c_str(),
+                D.OriginalDeltaPct,
+                Known ? " [known]" : "", Text.c_str());
+    if (!OutDir.empty()) {
+      std::filesystem::create_directories(OutDir);
+      const std::filesystem::path Path =
+          std::filesystem::path(OutDir) / (D.Spec.Name + ".scn");
+      std::ofstream Out(Path, std::ios::binary);
+      if (!Out) {
+        std::fprintf(stderr, "cannot write '%s'\n", Path.string().c_str());
+        return 1;
+      }
+      Out << Text;
+      std::fprintf(stderr, "reproducer written to %s\n",
+                   Path.string().c_str());
+    }
+  }
+  if (FoundNew) {
+    std::fprintf(stderr, "fuzz: NEW differential(s) not in %s\n",
+                 KnownDir.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmdReplay(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  ScenarioSpec Spec;
+  if (!loadScenarioFile(Argv[2], Spec))
+    return 1;
+  if (!Spec.HasExpectation) {
+    std::fprintf(stderr, "%s has no expect block; nothing to replay\n",
+                 Argv[2]);
+    return 1;
+  }
+  PolicyKind Check;
+  if (!parsePolicyKind(Spec.Expect.PolicyA, Check) ||
+      !parsePolicyKind(Spec.Expect.PolicyB, Check)) {
+    std::fprintf(stderr, "%s: unknown policy in expect block\n", Argv[2]);
+    return 1;
+  }
+  const double Delta = replayScenario(Spec);
+  const bool SameSign =
+      (Delta > 0) == (Spec.Expect.MinDeltaPct > 0) ||
+      Spec.Expect.MinDeltaPct == 0;
+  std::printf("%s: %s vs %s delta %+.2f%% (recorded %+.2f%%) -> %s\n",
+              Spec.Name.c_str(), Spec.Expect.PolicyA.c_str(),
+              Spec.Expect.PolicyB.c_str(), Delta, Spec.Expect.MinDeltaPct,
+              SameSign ? "reproduced" : "NOT reproduced");
+  return SameSign ? 0 : 1;
+}
+
+int cmdSteady(int Argc, char **Argv) {
+  std::vector<std::string> Workloads = workloadNames();
+  RunConfig Base;
+  unsigned Trials = 1;
+  std::string JsonOut;
+  Args A{Argc, Argv};
+  while (!A.done()) {
+    std::string Value;
+    if (A.flag("--workloads", Value)) {
+      Workloads = splitList(Value);
+    } else if (A.flag("--policy", Value)) {
+      if (!parsePolicy(Value, Base.Policy)) {
+        std::fprintf(stderr, "unknown policy '%s'\n", Value.c_str());
+        return 1;
+      }
+      if (Base.MaxDepth == 1 && Base.Policy != PolicyKind::ContextInsensitive)
+        Base.MaxDepth = 4;
+    } else if (A.flag("--depth", Value)) {
+      if (!parseUnsigned32("--depth", Value, Base.MaxDepth))
+        return 1;
+    } else if (A.flag("--scale", Value)) {
+      Base.Params.Scale = std::atof(Value.c_str());
+    } else if (A.flag("--seed", Value)) {
+      if (!parseUnsigned("--seed", Value,
+                         std::numeric_limits<uint64_t>::max(),
+                         Base.Params.Seed))
+        return 1;
+    } else if (A.flag("--trials", Value)) {
+      if (!parseUnsigned32("--trials", Value, Trials))
+        return 1;
+    } else if (A.flag("--code-cache", Value)) {
+      if (!parseUnsigned("--code-cache", Value,
+                         std::numeric_limits<uint64_t>::max(),
+                         Base.Model.CodeCache.CapacityBytes))
+        return 1;
+    } else if (A.flag("--osr", Value)) {
+      if (!parseOsr(Value, Base.Aos.Osr.Enabled))
+        return 1;
+    } else if (A.flag("--json", Value)) {
+      JsonOut = Value;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Argv[A.Pos]);
+      return usage();
+    }
+  }
+  for (const std::string &W : Workloads)
+    if (!knownWorkload(W)) {
+      std::fprintf(stderr, "unknown workload '%s'\n", W.c_str());
+      return 1;
+    }
+
+  bool AllReached = true;
+  std::string Json = "{\"workloads\":[";
+  std::printf("%-22s %12s %12s %12s  %s\n", "workload", "wall Mcy",
+              "warmup Mcy", "steady Mcy", "verdict");
+  for (size_t I = 0; I != Workloads.size(); ++I) {
+    RunConfig Config = Base;
+    Config.WorkloadName = Workloads[I];
+    TraceSink Sink;
+    Sink.enable(steadyStateKindMask());
+    Config.Trace = &Sink;
+    const RunResult R = runBestOf(Config, Trials < 1 ? 1 : Trials);
+    const SteadyStateResult S = detectSteadyState(Sink, R.WallCycles);
+    AllReached &= S.Reached;
+    std::printf("%-22s %12.2f %12.2f %12.2f  %s (%s)\n",
+                Workloads[I].c_str(),
+                static_cast<double>(R.WallCycles) / 1e6,
+                static_cast<double>(S.WarmupCycles) / 1e6,
+                static_cast<double>(S.SteadyCycles) / 1e6,
+                S.Reached ? "steady" : "NOT steady", S.Why.c_str());
+    Json += formatString(
+        "%s{\"name\":\"%s\",\"reached\":%s,\"wallCycles\":%llu,"
+        "\"warmupCycles\":%llu,\"steadyCycles\":%llu,\"why\":\"%s\"}",
+        I == 0 ? "" : ",", jsonEscape(Workloads[I]).c_str(),
+        S.Reached ? "true" : "false",
+        static_cast<unsigned long long>(R.WallCycles),
+        static_cast<unsigned long long>(S.WarmupCycles),
+        static_cast<unsigned long long>(S.SteadyCycles),
+        jsonEscape(S.Why).c_str());
+  }
+  Json += formatString("],\"allReached\":%s}\n",
+                       AllReached ? "true" : "false");
+  if (!JsonOut.empty()) {
+    std::ofstream Out(JsonOut, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", JsonOut.c_str());
+      return 1;
+    }
+    Out << Json;
+    std::fprintf(stderr, "verdict written to %s\n", JsonOut.c_str());
+  }
+  return AllReached ? 0 : 1;
+}
+
 int cmdDisasm(int Argc, char **Argv) {
   if (Argc < 3)
     return usage();
@@ -643,5 +948,11 @@ int main(int Argc, char **Argv) {
     return cmdTrace(Argc, Argv);
   if (Command == "disasm")
     return cmdDisasm(Argc, Argv);
+  if (Command == "fuzz")
+    return cmdFuzz(Argc, Argv);
+  if (Command == "replay")
+    return cmdReplay(Argc, Argv);
+  if (Command == "steady")
+    return cmdSteady(Argc, Argv);
   return usage();
 }

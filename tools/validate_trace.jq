@@ -85,6 +85,10 @@ def typespec:
       req: {method: "string", level: "number", codeBytes: "number",
             serial: "number", liveBytes: "number",
             evictionIndex: "number"}
+    },
+    "phase-shift": {
+      tids: [0],
+      req: {method: "string", phase: "number", phases: "number"}
     }
   };
 
