@@ -1,0 +1,158 @@
+//===- fuse/FusedProgram.h - Superinstruction handler programs --*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data side of the superinstruction fusion subsystem: one FusedProgram
+/// per eligible CodeVariant, holding precompiled straight-line handlers the
+/// interpreter's inner loop can execute in place of per-bytecode dispatch.
+///
+/// A FusedRun covers a maximal straight-line span of the source body — no
+/// branches, calls, returns or allocation sites inside, no branch targets
+/// strictly inside — lowered into a short program of FusedOps over an
+/// explicit-slot view of the operand stack. Pure stack shuffling (IConst,
+/// LoadLocal, Dup, Pop, Swap) compiles away entirely: the lowering tracks
+/// constants and local aliases symbolically and only materializes values
+/// into their logical stack slots where a later effect (or the end of the
+/// run) can observe them.
+///
+/// Everything here is host-side machinery. The simulated clock charges one
+/// BatchCharge per executed run, equal by construction to the sum of the
+/// per-PC cost-table entries the run replaces, so fused and unfused
+/// execution are bit-identical in simulated time (see DESIGN.md,
+/// "Superinstruction fusion").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_FUSE_FUSEDPROGRAM_H
+#define AOCI_FUSE_FUSEDPROGRAM_H
+
+#include "bytecode/Instruction.h"
+#include "vm/Value.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace aoci {
+
+/// Operation of one fused handler step. Arithmetic/compare kinds mirror
+/// the interpreter's binaryInt semantics exactly (wrapping, division by
+/// zero, tag-aware equality); heap kinds mirror the Get/PutField and
+/// array opcodes, asserts included.
+enum class FusedOpKind : uint8_t {
+  Copy, ///< Dst = A. Materializes a constant/local/slot into a slot or
+        ///< local; also the lowered form of Dup-of-a-slot.
+  Swap, ///< Exchange slots A.Index and B.Index (both Slot operands).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Neg,   ///< Dst = -A (wrapping).
+  CmpEq, ///< Dst = A.equals(B) ? 1 : 0 — tag-aware, like Opcode::ICmpEq.
+  CmpNe,
+  CmpLt, ///< Integer compares (asInt), like the interpreter's binaryInt.
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  GetField,    ///< Dst = heap[A].fields[Imm].
+  PutField,    ///< heap[A].fields[Imm] = B.
+  ArrayLoad,   ///< Dst = heap[A][B].
+  ArrayStore,  ///< heap[A][B] = C.
+  ArrayLength, ///< Dst = length(heap[A]).
+  InstanceOf,  ///< Dst = (A non-null && class(A) <: Imm) ? 1 : 0.
+};
+
+/// Where a fused operand is read from.
+enum class FusedSrc : uint8_t {
+  Const, ///< The operand's Imm value (already a tagged Value).
+  Local, ///< Frame local Index.
+  Slot,  ///< Logical operand-stack slot Index (offset from StackBase).
+};
+
+/// Where a fused result is written.
+enum class FusedDst : uint8_t {
+  None,  ///< Pure effect (PutField, ArrayStore, Swap).
+  Slot,  ///< Logical operand-stack slot Index.
+  Local, ///< Frame local Index.
+};
+
+/// One operand of a fused op.
+struct FusedOperand {
+  FusedSrc Kind = FusedSrc::Const;
+  uint16_t Index = 0; ///< Local or slot index (Kind != Const).
+  Value Imm;          ///< Constant value (Kind == Const).
+};
+
+/// One step of a fused handler. Operands are read before the destination
+/// is written, so an op may safely target a slot it also reads.
+struct FusedOp {
+  FusedOpKind Kind = FusedOpKind::Copy;
+  FusedDst Dst = FusedDst::None;
+  uint16_t DstIndex = 0;
+  FusedOperand A;
+  FusedOperand B; ///< Second operand (binary ops, PutField value,
+                  ///< ArrayLoad/Store index).
+  FusedOperand C; ///< Third operand (ArrayStore value only).
+  int64_t Imm = 0; ///< Field index (Get/PutField) or ClassId (InstanceOf).
+};
+
+/// One straight-line run of the source body, lowered to fused ops.
+struct FusedRun {
+  /// First source PC the run covers; the only PC the interpreter
+  /// dispatches the run from (it may be a branch target — runs never
+  /// *contain* one past the first instruction).
+  BytecodeIndex StartPC = 0;
+  /// Source instructions covered; the interpreter resumes at
+  /// StartPC + Length.
+  uint32_t Length = 0;
+  /// Simulated cycles for the whole run: the sum of the per-PC cost-table
+  /// entries (machineSize * cyclesPerUnit at the variant's level) of every
+  /// covered instruction. Non-inlined frames only, so no scope bonus.
+  uint64_t BatchCharge = 0;
+  /// BatchCharge minus the last covered instruction's charge. The
+  /// interpreter may batch only while Clock + ChargeBeforeLast < StopClock:
+  /// per-instruction execution re-checks the clock before each subsequent
+  /// instruction, and with non-negative per-PC costs the check before the
+  /// *last* instruction is the binding one. Otherwise it falls back to
+  /// per-bytecode dispatch, which suspends at exact PC granularity.
+  uint64_t ChargeBeforeLast = 0;
+  /// The run's ops: FusedProgram::Ops[FirstOp, FirstOp + NumOps).
+  uint32_t FirstOp = 0;
+  uint32_t NumOps = 0;
+  /// Static operand-stack depth at entry and exit (the verifier's
+  /// dataflow guarantees each PC has one consistent depth).
+  uint16_t DepthBefore = 0;
+  uint16_t DepthAfter = 0;
+};
+
+/// All fused runs of one CodeVariant. Immutable once built; owned by the
+/// variant and freed on eviction (re-derived if the method recompiles on
+/// re-entry).
+struct FusedProgram {
+  std::vector<FusedOp> Ops;
+  std::vector<FusedRun> Runs;
+  /// Per-PC run map, indexed by source PC over the whole body: the run
+  /// starting at that PC, or null. Pointers into Runs (stable — the
+  /// program is immutable after construction).
+  std::vector<const FusedRun *> RunAtPC;
+  /// Source instructions covered by all runs (the `opsFused` trace arg).
+  uint32_t OpsFused = 0;
+  /// Host-side footprint of the fused structures in bytes (the metrics
+  /// ledgers report this; it is not simulated code-space).
+  uint64_t FusedBytes = 0;
+
+  const FusedRun *const *runMap() const { return RunAtPC.data(); }
+};
+
+} // namespace aoci
+
+#endif // AOCI_FUSE_FUSEDPROGRAM_H

@@ -1,0 +1,555 @@
+//===- fuse/FusionBuilder.cpp - Tokenize + lower + build -------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuse/FusionBuilder.h"
+
+#include "bytecode/Method.h"
+#include "bytecode/Program.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace aoci;
+
+bool aoci::isFusable(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::Work:
+  case Opcode::IConst:
+  case Opcode::ConstNull:
+  case Opcode::LoadLocal:
+  case Opcode::StoreLocal:
+  case Opcode::Dup:
+  case Opcode::Pop:
+  case Opcode::Swap:
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IDiv:
+  case Opcode::IRem:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+  case Opcode::IXor:
+  case Opcode::IShl:
+  case Opcode::IShr:
+  case Opcode::INeg:
+  case Opcode::ICmpEq:
+  case Opcode::ICmpNe:
+  case Opcode::ICmpLt:
+  case Opcode::ICmpLe:
+  case Opcode::ICmpGt:
+  case Opcode::ICmpGe:
+  case Opcode::GetField:
+  case Opcode::PutField:
+  case Opcode::ArrayLoad:
+  case Opcode::ArrayStore:
+  case Opcode::ArrayLength:
+  case Opcode::InstanceOf:
+    return true;
+  default:
+    // Branches and invokes are yieldpoints (samples, OSR) and frame
+    // traffic; returns end the frame; New/NewArray charge allocation
+    // cycles and can trigger a GC pause, which must stay at exact PC
+    // granularity for the pause trace timestamp to be bit-identical.
+    return false;
+  }
+}
+
+namespace {
+
+/// Net operand-stack pops/pushes of one fusable opcode.
+void fusableStackEffect(Opcode Op, unsigned &Pops, unsigned &Pushes) {
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::Work:
+    Pops = 0;
+    Pushes = 0;
+    break;
+  case Opcode::IConst:
+  case Opcode::ConstNull:
+  case Opcode::LoadLocal:
+    Pops = 0;
+    Pushes = 1;
+    break;
+  case Opcode::StoreLocal:
+  case Opcode::Pop:
+    Pops = 1;
+    Pushes = 0;
+    break;
+  case Opcode::Dup:
+    Pops = 1;
+    Pushes = 2;
+    break;
+  case Opcode::Swap:
+    Pops = 2;
+    Pushes = 2;
+    break;
+  case Opcode::INeg:
+  case Opcode::GetField:
+  case Opcode::ArrayLength:
+  case Opcode::InstanceOf:
+    Pops = 1;
+    Pushes = 1;
+    break;
+  case Opcode::PutField:
+    Pops = 2;
+    Pushes = 0;
+    break;
+  case Opcode::ArrayLoad:
+    Pops = 2;
+    Pushes = 1;
+    break;
+  case Opcode::ArrayStore:
+    Pops = 3;
+    Pushes = 0;
+    break;
+  default:
+    // Binary arithmetic and compares.
+    assert((Op >= Opcode::IAdd && Op <= Opcode::ICmpGe) &&
+           "unexpected opcode in fused run");
+    Pops = 2;
+    Pushes = 1;
+    break;
+  }
+}
+
+/// Symbolic descriptor of one logical operand-stack position during
+/// lowering. A Slot descriptor is always at its own logical depth (the
+/// invariant that makes run-end materialization a straight scan instead
+/// of a permutation-cycle solver).
+struct SymDesc {
+  enum DescKind : uint8_t { KConst, KLocal, KSlot } K = KConst;
+  Value C;
+  uint16_t Index = 0;
+
+  static SymDesc makeConst(Value V) {
+    SymDesc D;
+    D.K = KConst;
+    D.C = V;
+    return D;
+  }
+  static SymDesc makeLocal(uint16_t I) {
+    SymDesc D;
+    D.K = KLocal;
+    D.Index = I;
+    return D;
+  }
+  static SymDesc makeSlot(uint16_t P) {
+    SymDesc D;
+    D.K = KSlot;
+    D.Index = P;
+    return D;
+  }
+};
+
+FusedOperand operandOf(const SymDesc &D) {
+  FusedOperand O;
+  switch (D.K) {
+  case SymDesc::KConst:
+    O.Kind = FusedSrc::Const;
+    O.Imm = D.C;
+    break;
+  case SymDesc::KLocal:
+    O.Kind = FusedSrc::Local;
+    O.Index = D.Index;
+    break;
+  case SymDesc::KSlot:
+    O.Kind = FusedSrc::Slot;
+    O.Index = D.Index;
+    break;
+  }
+  return O;
+}
+
+FusedOpKind binaryKind(Opcode Op) {
+  switch (Op) {
+  case Opcode::IAdd:
+    return FusedOpKind::Add;
+  case Opcode::ISub:
+    return FusedOpKind::Sub;
+  case Opcode::IMul:
+    return FusedOpKind::Mul;
+  case Opcode::IDiv:
+    return FusedOpKind::Div;
+  case Opcode::IRem:
+    return FusedOpKind::Rem;
+  case Opcode::IAnd:
+    return FusedOpKind::And;
+  case Opcode::IOr:
+    return FusedOpKind::Or;
+  case Opcode::IXor:
+    return FusedOpKind::Xor;
+  case Opcode::IShl:
+    return FusedOpKind::Shl;
+  case Opcode::IShr:
+    return FusedOpKind::Shr;
+  case Opcode::ICmpEq:
+    return FusedOpKind::CmpEq;
+  case Opcode::ICmpNe:
+    return FusedOpKind::CmpNe;
+  case Opcode::ICmpLt:
+    return FusedOpKind::CmpLt;
+  case Opcode::ICmpLe:
+    return FusedOpKind::CmpLe;
+  case Opcode::ICmpGt:
+    return FusedOpKind::CmpGt;
+  case Opcode::ICmpGe:
+    return FusedOpKind::CmpGe;
+  default:
+    assert(false && "not a binary opcode");
+    return FusedOpKind::Add;
+  }
+}
+
+/// Lowers the run [Start, Start + Length) of \p Body into \p Ops, given
+/// the static stack depth \p DepthBefore at entry. The symbolic stack
+/// starts as Slot(0..DepthBefore): incoming operands already live in
+/// their physical slots.
+void lowerRun(const Instruction *Body, uint32_t Start, uint32_t Length,
+              uint16_t DepthBefore, std::vector<FusedOp> &Ops) {
+  const size_t RunFirstOp = Ops.size();
+  std::vector<SymDesc> Stack;
+  Stack.reserve(DepthBefore + 8);
+  for (uint16_t I = 0; I != DepthBefore; ++I)
+    Stack.push_back(SymDesc::makeSlot(I));
+
+  auto emit = [&]() -> FusedOp & {
+    Ops.emplace_back();
+    return Ops.back();
+  };
+  auto emitCopy = [&](FusedDst Dst, uint16_t DstIndex, const SymDesc &Src) {
+    FusedOp &Op = emit();
+    Op.Kind = FusedOpKind::Copy;
+    Op.Dst = Dst;
+    Op.DstIndex = DstIndex;
+    Op.A = operandOf(Src);
+  };
+
+  for (uint32_t PC = Start; PC != Start + Length; ++PC) {
+    const Instruction &I = Body[PC];
+    switch (I.Op) {
+    case Opcode::Nop:
+    case Opcode::Work:
+      break;
+    case Opcode::IConst:
+      Stack.push_back(SymDesc::makeConst(Value::makeInt(I.Operand)));
+      break;
+    case Opcode::ConstNull:
+      Stack.push_back(SymDesc::makeConst(Value::makeNull()));
+      break;
+    case Opcode::LoadLocal:
+      Stack.push_back(SymDesc::makeLocal(static_cast<uint16_t>(I.Operand)));
+      break;
+    case Opcode::StoreLocal: {
+      const uint16_t L = static_cast<uint16_t>(I.Operand);
+      const SymDesc D = Stack.back();
+      Stack.pop_back();
+      // Storing the local's own current value is a no-op, and leaves any
+      // remaining Local(L) aliases valid.
+      if (D.K == SymDesc::KLocal && D.Index == L)
+        break;
+      // Pending aliases of the old value must be materialized before the
+      // store clobbers it.
+      bool HadAliases = false;
+      for (size_t Pos = 0; Pos != Stack.size(); ++Pos) {
+        if (Stack[Pos].K == SymDesc::KLocal && Stack[Pos].Index == L) {
+          emitCopy(FusedDst::Slot, static_cast<uint16_t>(Pos), Stack[Pos]);
+          Stack[Pos] = SymDesc::makeSlot(static_cast<uint16_t>(Pos));
+          HadAliases = true;
+        }
+      }
+      // Peephole: when the value being stored is the slot the immediately
+      // preceding op defined, retarget that op to write the local
+      // directly. Unsafe if alias copies were just emitted after the
+      // defining op — they must read the *old* local value.
+      if (!HadAliases && D.K == SymDesc::KSlot && Ops.size() > RunFirstOp &&
+          Ops.back().Dst == FusedDst::Slot && Ops.back().DstIndex == D.Index &&
+          D.Index == Stack.size()) {
+        Ops.back().Dst = FusedDst::Local;
+        Ops.back().DstIndex = L;
+        break;
+      }
+      emitCopy(FusedDst::Local, L, D);
+      break;
+    }
+    case Opcode::Dup: {
+      const SymDesc &Top = Stack.back();
+      if (Top.K == SymDesc::KSlot) {
+        const uint16_t Q = static_cast<uint16_t>(Stack.size());
+        emitCopy(FusedDst::Slot, Q, Top);
+        Stack.push_back(SymDesc::makeSlot(Q));
+      } else {
+        Stack.push_back(Top);
+      }
+      break;
+    }
+    case Opcode::Pop:
+      Stack.pop_back();
+      break;
+    case Opcode::Swap: {
+      const size_t Q = Stack.size() - 1, Pp = Stack.size() - 2;
+      SymDesc &A = Stack[Pp], &B = Stack[Q];
+      if (A.K != SymDesc::KSlot && B.K != SymDesc::KSlot) {
+        std::swap(A, B);
+      } else if (A.K == SymDesc::KSlot && B.K == SymDesc::KSlot) {
+        FusedOp &Op = emit();
+        Op.Kind = FusedOpKind::Swap;
+        Op.A = operandOf(A);
+        Op.B = operandOf(B);
+        // Values physically exchange; the slot descriptors stay at their
+        // own positions.
+      } else if (A.K == SymDesc::KSlot) {
+        // Move the materialized value up to Q; the lazy value takes P.
+        emitCopy(FusedDst::Slot, static_cast<uint16_t>(Q), A);
+        A = B;
+        B = SymDesc::makeSlot(static_cast<uint16_t>(Q));
+      } else {
+        // Move the materialized value down to P; the lazy value takes Q.
+        emitCopy(FusedDst::Slot, static_cast<uint16_t>(Pp), B);
+        B = A;
+        A = SymDesc::makeSlot(static_cast<uint16_t>(Pp));
+      }
+      break;
+    }
+    case Opcode::INeg: {
+      const SymDesc D = Stack.back();
+      Stack.pop_back();
+      const uint16_t Pp = static_cast<uint16_t>(Stack.size());
+      FusedOp &Op = emit();
+      Op.Kind = FusedOpKind::Neg;
+      Op.Dst = FusedDst::Slot;
+      Op.DstIndex = Pp;
+      Op.A = operandOf(D);
+      Stack.push_back(SymDesc::makeSlot(Pp));
+      break;
+    }
+    case Opcode::GetField:
+    case Opcode::ArrayLength:
+    case Opcode::InstanceOf: {
+      const SymDesc R = Stack.back();
+      Stack.pop_back();
+      const uint16_t Pp = static_cast<uint16_t>(Stack.size());
+      FusedOp &Op = emit();
+      Op.Kind = I.Op == Opcode::GetField      ? FusedOpKind::GetField
+                : I.Op == Opcode::ArrayLength ? FusedOpKind::ArrayLength
+                                              : FusedOpKind::InstanceOf;
+      Op.Dst = FusedDst::Slot;
+      Op.DstIndex = Pp;
+      Op.A = operandOf(R);
+      Op.Imm = I.Operand;
+      Stack.push_back(SymDesc::makeSlot(Pp));
+      break;
+    }
+    case Opcode::PutField: {
+      const SymDesc V = Stack.back();
+      Stack.pop_back();
+      const SymDesc R = Stack.back();
+      Stack.pop_back();
+      FusedOp &Op = emit();
+      Op.Kind = FusedOpKind::PutField;
+      Op.A = operandOf(R);
+      Op.B = operandOf(V);
+      Op.Imm = I.Operand;
+      break;
+    }
+    case Opcode::ArrayLoad: {
+      const SymDesc Idx = Stack.back();
+      Stack.pop_back();
+      const SymDesc R = Stack.back();
+      Stack.pop_back();
+      const uint16_t Pp = static_cast<uint16_t>(Stack.size());
+      FusedOp &Op = emit();
+      Op.Kind = FusedOpKind::ArrayLoad;
+      Op.Dst = FusedDst::Slot;
+      Op.DstIndex = Pp;
+      Op.A = operandOf(R);
+      Op.B = operandOf(Idx);
+      Stack.push_back(SymDesc::makeSlot(Pp));
+      break;
+    }
+    case Opcode::ArrayStore: {
+      const SymDesc V = Stack.back();
+      Stack.pop_back();
+      const SymDesc Idx = Stack.back();
+      Stack.pop_back();
+      const SymDesc R = Stack.back();
+      Stack.pop_back();
+      FusedOp &Op = emit();
+      Op.Kind = FusedOpKind::ArrayStore;
+      Op.A = operandOf(R);
+      Op.B = operandOf(Idx);
+      Op.C = operandOf(V);
+      break;
+    }
+    default: {
+      // Binary arithmetic / compare.
+      const SymDesc B = Stack.back();
+      Stack.pop_back();
+      const SymDesc A = Stack.back();
+      Stack.pop_back();
+      const uint16_t Pp = static_cast<uint16_t>(Stack.size());
+      FusedOp &Op = emit();
+      Op.Kind = binaryKind(I.Op);
+      Op.Dst = FusedDst::Slot;
+      Op.DstIndex = Pp;
+      Op.A = operandOf(A);
+      Op.B = operandOf(B);
+      Stack.push_back(SymDesc::makeSlot(Pp));
+      break;
+    }
+    }
+  }
+
+  // Materialize every value still lazy into its logical slot: after the
+  // run the architectural stack must be exact (the next instruction, a
+  // deopt snapshot, or a sample stack walk reads it).
+  for (size_t Pos = 0; Pos != Stack.size(); ++Pos)
+    if (Stack[Pos].K != SymDesc::KSlot)
+      emitCopy(FusedDst::Slot, static_cast<uint16_t>(Pos), Stack[Pos]);
+}
+
+} // namespace
+
+std::unique_ptr<const FusedProgram>
+aoci::buildFusedProgram(const Program &P, const Method &M, OptLevel Level,
+                        const CostModel &Model) {
+  const std::vector<Instruction> &Body = M.Body;
+  const uint32_t Size = static_cast<uint32_t>(Body.size());
+  if (Size == 0)
+    return nullptr;
+
+  // Branch-target set: a run may *start* at a target but never contain
+  // one past its first instruction (control entering mid-run would skip
+  // part of the batch).
+  std::vector<uint8_t> IsTarget(Size, 0);
+  for (const Instruction &I : Body)
+    if (isBranch(I.Op)) {
+      assert(I.Operand >= 0 && static_cast<uint64_t>(I.Operand) < Size);
+      IsTarget[static_cast<size_t>(I.Operand)] = 1;
+    }
+
+  // Static stack depth per PC, from the verifier's dataflow (depth is
+  // consistent at merge points, so one pass over reachable code
+  // suffices). Unknown stays UINT32_MAX: unreachable code is never fused.
+  constexpr uint32_t Unknown = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> Depth(Size, Unknown);
+  std::vector<uint32_t> Worklist;
+  Depth[0] = 0;
+  Worklist.push_back(0);
+  while (!Worklist.empty()) {
+    const uint32_t PC = Worklist.back();
+    Worklist.pop_back();
+    const Instruction &I = Body[PC];
+    uint32_t D = Depth[PC];
+    unsigned Pops = 0, Pushes = 0;
+    if (isFusable(I.Op)) {
+      fusableStackEffect(I.Op, Pops, Pushes);
+    } else if (isInvoke(I.Op)) {
+      const Method &Callee = P.method(static_cast<MethodId>(I.Operand));
+      Pops = Callee.numArgSlots();
+      Pushes = Callee.ReturnsValue ? 1 : 0;
+    } else if (isBranch(I.Op)) {
+      Pops = I.Op == Opcode::Goto ? 0 : 1;
+    } else if (I.Op == Opcode::Return) {
+      continue;
+    } else if (I.Op == Opcode::ValueReturn) {
+      continue;
+    } else {
+      // New / NewArray.
+      Pops = I.Op == Opcode::NewArray ? 1 : 0;
+      Pushes = 1;
+    }
+    assert(D >= Pops && "stack underflow in verified code");
+    D = D - Pops + Pushes;
+    auto flow = [&](uint32_t Succ) {
+      if (Succ >= Size)
+        return;
+      if (Depth[Succ] == Unknown) {
+        Depth[Succ] = D;
+        Worklist.push_back(Succ);
+      } else {
+        assert(Depth[Succ] == D && "inconsistent depth in verified code");
+      }
+    };
+    if (isBranch(I.Op)) {
+      flow(static_cast<uint32_t>(I.Operand));
+      if (I.Op != Opcode::Goto)
+        flow(PC + 1);
+    } else {
+      flow(PC + 1);
+    }
+  }
+
+  auto Out = std::make_unique<FusedProgram>();
+  const uint64_t PerUnit = Model.cyclesPerUnit(Level);
+
+  uint32_t PC = 0;
+  while (PC < Size) {
+    if (!isFusable(Body[PC].Op) || Depth[PC] == Unknown) {
+      ++PC;
+      continue;
+    }
+    // Extend the run while instructions stay fusable and no branch target
+    // interrupts it.
+    uint32_t End = PC + 1;
+    while (End < Size && isFusable(Body[End].Op) && !IsTarget[End])
+      ++End;
+    const uint32_t Length = End - PC;
+    if (Length < MinFusedRunLength) {
+      PC = End;
+      continue;
+    }
+
+    FusedRun Run;
+    Run.StartPC = PC;
+    Run.Length = Length;
+    Run.DepthBefore = static_cast<uint16_t>(Depth[PC]);
+    uint64_t LastCharge = 0;
+    uint32_t DepthNow = Depth[PC];
+    for (uint32_t I = PC; I != End; ++I) {
+      LastCharge = Body[I].machineSize() * PerUnit;
+      Run.BatchCharge += LastCharge;
+      unsigned Pops = 0, Pushes = 0;
+      fusableStackEffect(Body[I].Op, Pops, Pushes);
+      DepthNow = DepthNow - Pops + Pushes;
+    }
+    Run.ChargeBeforeLast = Run.BatchCharge - LastCharge;
+    Run.DepthAfter = static_cast<uint16_t>(DepthNow);
+    Run.FirstOp = static_cast<uint32_t>(Out->Ops.size());
+    lowerRun(Body.data(), PC, Length, Run.DepthBefore, Out->Ops);
+    Run.NumOps = static_cast<uint32_t>(Out->Ops.size()) - Run.FirstOp;
+    // Profitability gate: a batch replaces Length switch dispatches with
+    // one guarded handler call over NumOps symbolic ops. When lowering
+    // elided nothing (NumOps >= Length, e.g. two loads materializing
+    // argument slots before a call), the handler does the same work per
+    // instruction as the switch plus the per-run guard and bookkeeping —
+    // a measured host-side loss on dispatch-heavy code. Keep only runs
+    // whose symbolic program is strictly smaller than the bytecode it
+    // replaces; everything else stays on the per-bytecode path, which is
+    // always correct.
+    if (Run.NumOps >= Run.Length) {
+      Out->Ops.resize(Run.FirstOp);
+      PC = End;
+      continue;
+    }
+    Out->Runs.push_back(Run);
+    Out->OpsFused += Length;
+    PC = End;
+  }
+
+  if (Out->Runs.empty())
+    return nullptr;
+
+  Out->RunAtPC.assign(Size, nullptr);
+  for (const FusedRun &R : Out->Runs)
+    Out->RunAtPC[R.StartPC] = &R;
+  Out->FusedBytes = sizeof(FusedProgram) +
+                    Out->Ops.size() * sizeof(FusedOp) +
+                    Out->Runs.size() * sizeof(FusedRun) +
+                    Out->RunAtPC.size() * sizeof(const FusedRun *);
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===- fuse/FusionBuilder.h - Tokenize + lower + build ----------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The staged-lowering pipeline behind superinstruction fusion, in the
+/// spirit of OpenVINO snippets' tokenize -> lower -> install (SNIPPETS.md,
+/// Snippet 3): a tokenizer finds maximal straight-line runs of fusable
+/// bytecodes, a lowering pass compiles each run into a FusedOp program
+/// over a symbolic operand stack, and CodeManager::install attaches the
+/// result to the variant it just installed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_FUSE_FUSIONBUILDER_H
+#define AOCI_FUSE_FUSIONBUILDER_H
+
+#include "fuse/FusedProgram.h"
+#include "vm/CostModel.h"
+
+#include <memory>
+
+namespace aoci {
+
+class Method;
+class Program;
+
+/// Minimum source instructions for a run to be worth a fused handler: the
+/// per-dispatch win must outweigh the run-entry guard.
+constexpr uint32_t MinFusedRunLength = 2;
+
+/// True when the interpreter can execute \p Op inside a fused run: no
+/// control transfer, no frame traffic, no sample/OSR yieldpoint, and no
+/// allocation (New/NewArray charge extra cycles and can trigger a GC
+/// pause mid-run, which must stay at exact PC granularity).
+bool isFusable(Opcode Op);
+
+/// Tokenizes and lowers \p M's body for a variant at \p Level. Returns
+/// null when no run of at least MinFusedRunLength fusable instructions
+/// exists. \p P resolves invoke argument counts for the stack-depth
+/// dataflow; \p Model supplies cyclesPerUnit for the batch charges; fusion
+/// applies only to non-inlined frames, so the scope bonus never enters.
+std::unique_ptr<const FusedProgram>
+buildFusedProgram(const Program &P, const Method &M, OptLevel Level,
+                  const CostModel &Model);
+
+} // namespace aoci
+
+#endif // AOCI_FUSE_FUSIONBUILDER_H

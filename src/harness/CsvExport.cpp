@@ -63,10 +63,11 @@ std::string aoci::exportCsv(const GridResults &Results,
 std::string aoci::exportMetricsCsv(const GridResults &Results) {
   std::string Out =
       "workload,policy,max_depth,kind,worker,queue_ns,host_ns,run_cycles,"
-      "steady,warmup_cycles,steady_cycles\n";
+      "steady,warmup_cycles,steady_cycles,fused_runs,fused_ops,"
+      "fused_bytes\n";
   for (const RunMetrics &M : Results.metrics())
     Out += formatString(
-        "%s,%s,%u,%s,%u,%llu,%llu,%llu,%s,%llu,%llu\n",
+        "%s,%s,%u,%s,%u,%llu,%llu,%llu,%s,%llu,%llu,%llu,%llu,%llu\n",
         M.WorkloadName.c_str(),
         M.IsBaseline ? "cins" : policyKindName(M.Policy), M.MaxDepth,
         M.IsBaseline ? "baseline" : "cell", M.Worker,
@@ -75,6 +76,9 @@ std::string aoci::exportMetricsCsv(const GridResults &Results) {
         static_cast<unsigned long long>(M.RunCycles),
         !M.SteadyKnown ? "n/a" : M.SteadyReached ? "yes" : "no",
         static_cast<unsigned long long>(M.WarmupCycles),
-        static_cast<unsigned long long>(M.SteadyCycles));
+        static_cast<unsigned long long>(M.SteadyCycles),
+        static_cast<unsigned long long>(M.FusedRuns),
+        static_cast<unsigned long long>(M.FusedOps),
+        static_cast<unsigned long long>(M.FusedBytes));
   return Out;
 }

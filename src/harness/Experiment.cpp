@@ -68,6 +68,9 @@ RunResult aoci::runExperiment(const RunConfig &Config) {
   R.PeakCodeBytes = VM.codeManager().peakCodeBytes();
   R.Evictions = VM.codeManager().numEvictions();
   R.RecompilesAfterEvict = VM.codeManager().recompilesAfterEvict();
+  R.FusedRuns = VM.codeManager().fusedRunsInstalled();
+  R.FusedOps = VM.codeManager().fusedOpsTotal();
+  R.FusedBytes = VM.codeManager().fusedBytesTotal();
 
   R.ClassesLoaded = W.Prog.numClasses();
   for (MethodId M = 0; M != W.Prog.numMethods(); ++M) {
@@ -257,6 +260,9 @@ RunMetrics makeMetrics(const PlannedRun &Run, const RunResult &Result,
   M.OsrEntries = Result.OsrEntries;
   M.Deopts = Result.Deopts;
   M.Evictions = Result.Evictions;
+  M.FusedRuns = Result.FusedRuns;
+  M.FusedOps = Result.FusedOps;
+  M.FusedBytes = Result.FusedBytes;
   // The steady/warmup split comes from the run's own trace stream; a
   // grid without tracing (or with a filter missing the needed kinds)
   // reports the verdict as unknown rather than guessing.

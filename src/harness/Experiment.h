@@ -103,6 +103,15 @@ struct RunResult {
   uint64_t Evictions = 0;
   uint64_t RecompilesAfterEvict = 0;
 
+  /// Superinstruction fusion activity (all zero with fusion off, i.e.
+  /// Model.Fuse.Enabled == false). Deterministic — fusion decisions are a
+  /// pure function of installed code — but host-side machinery, so kept
+  /// out of the frozen grid CSV like the OSR and cache counters; the
+  /// metrics CSV carries them (`fused_runs,fused_ops,fused_bytes`).
+  uint64_t FusedRuns = 0;
+  uint64_t FusedOps = 0;
+  uint64_t FusedBytes = 0;
+
   /// Table 1 characteristics: classes in the program, methods and
   /// bytecodes dynamically compiled (i.e. actually executed at least
   /// once and hence baseline-compiled).
@@ -167,6 +176,11 @@ struct RunMetrics {
   uint64_t Deopts = 0;
   /// Code-cache evictions of the best trial (zero with the cache off).
   uint64_t Evictions = 0;
+  /// Fused-handler installs of the best trial (zero with fusion off).
+  /// Appended to the metrics CSV as `fused_runs,fused_ops,fused_bytes`.
+  uint64_t FusedRuns = 0;
+  uint64_t FusedOps = 0;
+  uint64_t FusedBytes = 0;
   /// Steady-state verdict for the best trial (see SteadyState.h). Known
   /// only when the run traced the kinds detection needs
   /// (steadyStateKindMask()); SteadyReached/Warmup/Steady are meaningful

@@ -35,6 +35,18 @@ namespace aoci {
 
 /// Fuzz campaign configuration.
 struct FuzzConfig {
+  FuzzConfig() {
+    // Fold the OSR and bounded-code-cache axes into every campaign by
+    // default: differentials that only appear when loops tier up
+    // mid-iteration or when eviction forces recompilation are exactly
+    // the ones a policy-vs-policy search should be exposed to. The
+    // expect block records both knobs, so reproducers stay
+    // self-contained; `--osr off` / `--code-cache 0` restore the
+    // legacy axes.
+    Aos.Osr.Enabled = true;
+    Model.CodeCache.CapacityBytes = 6000;
+  }
+
   /// Seeds the mutation stream and the search's pick order.
   uint64_t Seed = 1;
   /// Scenario executions to spend (each candidate costs two runs: one
@@ -52,8 +64,10 @@ struct FuzzConfig {
   /// Workload knobs every candidate runs under (Scale directly controls
   /// fuzzing cost; CI uses a small scale).
   WorkloadParams Params{1, 0.05};
-  /// Cost model (set Model.CodeCache.CapacityBytes to fuzz the bounded
-  /// cache) and adaptive-system config (Aos.Osr.Enabled to fuzz OSR).
+  /// Cost model and adaptive-system config. The constructor turns OSR
+  /// on and bounds the code cache (see above); Model.Fuse may also be
+  /// set — fusion is clock-neutral, so it never changes what the search
+  /// finds, only how fast the host gets there.
   CostModel Model;
   AosSystemConfig Aos;
   /// Stop after this many distinct differentials.

@@ -218,6 +218,7 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
   uint64_t TotalHostNs = 0, TotalQueueNs = 0, TotalCycles = 0;
   uint64_t TotalOsrEntries = 0, TotalDeopts = 0;
   uint64_t TotalEvictions = 0;
+  uint64_t TotalFusedRuns = 0, TotalFusedBytes = 0;
   unsigned MaxWorker = 0;
   unsigned SteadyKnown = 0, SteadyReached = 0;
   for (const RunMetrics &M : Metrics) {
@@ -239,6 +240,8 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
     TotalOsrEntries += M.OsrEntries;
     TotalDeopts += M.Deopts;
     TotalEvictions += M.Evictions;
+    TotalFusedRuns += M.FusedRuns;
+    TotalFusedBytes += M.FusedBytes;
     SteadyKnown += M.SteadyKnown;
     SteadyReached += M.SteadyReached;
     MaxWorker = std::max(MaxWorker, M.Worker);
@@ -267,6 +270,12 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
     Out += formatString(
         "  code cache: %llu evictions across the sweep\n",
         static_cast<unsigned long long>(TotalEvictions));
+  if (TotalFusedRuns != 0)
+    Out += formatString(
+        "  fusion: %llu fused runs installed (%llu host bytes of "
+        "handlers) across the sweep\n",
+        static_cast<unsigned long long>(TotalFusedRuns),
+        static_cast<unsigned long long>(TotalFusedBytes));
   if (SteadyKnown != 0)
     Out += formatString(
         "  steady state: %u of %u traced runs settled (warm Mcy column "

@@ -68,9 +68,14 @@ enum class TraceEventKind : uint8_t {
   /// uncharged by scenario workloads; the steady-state detector uses it
   /// to keep warmup from being declared over while phases still flip.
   PhaseShift,
+  /// Superinstruction fusion attached straight-line handlers to a freshly
+  /// installed variant (CostModel::Fuse enabled at the variant's level).
+  /// Uncharged host-side bookkeeping; a zero run count records that
+  /// fusion ran but found nothing to batch.
+  FuseInstall,
 };
 
-constexpr unsigned NumTraceEventKinds = 15;
+constexpr unsigned NumTraceEventKinds = 16;
 
 /// Stable kebab-case names (JSON `name` field, `--trace-filter` tokens).
 const char *traceEventKindName(TraceEventKind K);

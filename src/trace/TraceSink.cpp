@@ -49,6 +49,8 @@ const char *aoci::traceEventKindName(TraceEventKind K) {
     return "code-evict";
   case TraceEventKind::PhaseShift:
     return "phase-shift";
+  case TraceEventKind::FuseInstall:
+    return "fuse-install";
   }
   return "<invalid>";
 }

@@ -123,6 +123,9 @@ TEST(GoldenTest, MetricsCsvFormat) {
   M.SteadyReached = true;
   M.WarmupCycles = 120000;
   M.SteadyCycles = 860000;
+  M.FusedRuns = 12;
+  M.FusedOps = 87;
+  M.FusedBytes = 4176;
   Results.addMetrics(M);
   M.MaxDepth = 4;
   M.Worker = 1;
@@ -132,6 +135,9 @@ TEST(GoldenTest, MetricsCsvFormat) {
   M.SteadyReached = false;
   M.WarmupCycles = 990000;
   M.SteadyCycles = 0;
+  M.FusedRuns = 0;
+  M.FusedOps = 0;
+  M.FusedBytes = 0;
   Results.addMetrics(M);
   expectMatchesGolden("metrics_csv.golden", exportMetricsCsv(Results));
 }

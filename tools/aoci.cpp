@@ -58,27 +58,29 @@ int usage() {
       "  aoci table1\n"
       "  aoci run <workload> [--policy P] [--depth N] [--scale X]\n"
       "           [--seed N] [--osr on|off] [--code-cache BYTES]\n"
-      "           [--plans] [--trace-stats]\n"
+      "           [--fuse on|off|level=N] [--plans] [--trace-stats]\n"
       "           [--save-profile FILE] [--load-profile FILE]\n"
       "  aoci grid [--workloads a,b] [--policies p,q] [--depths 2,3]\n"
       "            [--scale X] [--trials N] [--jobs N] [--osr on|off]\n"
-      "            [--code-cache BYTES]\n"
+      "            [--code-cache BYTES] [--fuse on|off|level=N]\n"
       "            [--csv FILE] [--metrics-csv FILE] [--metrics]\n"
       "            [--trace-out FILE] [--trace-filter kinds]\n"
       "            [--report fig4|fig5|fig6|compile|summary|all]\n"
       "  aoci trace <workload> [--trace-out FILE] [--trace-filter kinds]\n"
       "             [--policy P] [--depth N] [--scale X] [--seed N]\n"
       "             [--trials N] [--max-events N] [--osr on|off]\n"
-      "             [--code-cache BYTES]\n"
+      "             [--code-cache BYTES] [--fuse on|off|level=N]\n"
       "  aoci disasm <workload> [method]\n"
       "  aoci fuzz [--seed N] [--budget N] [--policy-a P] [--depth-a N]\n"
       "            [--policy-b P] [--depth-b N] [--threshold PCT]\n"
       "            [--scale X] [--workload-seed N] [--code-cache BYTES]\n"
-      "            [--osr on|off] [--max-diffs N] [--out DIR] [--known DIR]\n"
+      "            [--osr on|off] [--fuse on|off|level=N] [--max-diffs N]\n"
+      "            [--out DIR] [--known DIR]\n"
       "  aoci replay <file.scn>\n"
       "  aoci steady [--workloads a,b] [--policy P] [--depth N]\n"
       "              [--scale X] [--seed N] [--trials N] [--osr on|off]\n"
-      "              [--code-cache BYTES] [--json FILE]\n"
+      "              [--code-cache BYTES] [--fuse on|off|level=N]\n"
+      "              [--json FILE]\n"
       "policies: cins fixed paramLess class large hybrid1 hybrid2 "
       "imprecision\n"
       "workloads: Table 1 names plus the built-in adversarial scenarios\n"
@@ -95,6 +97,11 @@ int usage() {
       "--code-cache: bound total installed code bytes; victims are chosen\n"
       "  deterministically (least-recently-invoked by simulated cycle) and\n"
       "  live activations deoptimize first; 0 (default) = unbounded\n"
+      "--fuse: superinstruction fusion — lower straight-line runs of hot\n"
+      "  method bodies into batched handlers at install time. Host-side\n"
+      "  only: simulated cycles are bit-identical on or off. 'on' fuses\n"
+      "  optimized code (opt level >= 1), 'level=N' fuses at opt level >= N\n"
+      "  (level=0 includes baseline code); default off\n"
       "trace kinds: comma-separated event names (see OBSERVABILITY.md), "
       "e.g.\n"
       "  --trace-filter sample,controller-decision,compile-complete\n");
@@ -161,6 +168,32 @@ bool parseOsr(const std::string &Value, bool &Enabled) {
     return false;
   }
   return true;
+}
+
+/// Parses a `--fuse on|off|level=N` value into the cost model's fusion
+/// knobs. level=N reuses the checked integer parser, so garbage, signs
+/// and out-of-range opt levels are rejected with an error, not cast.
+bool parseFuse(const std::string &Value, FuseConfig &Fuse) {
+  if (Value == "on") {
+    Fuse.Enabled = true;
+    return true;
+  }
+  if (Value == "off") {
+    Fuse.Enabled = false;
+    return true;
+  }
+  if (Value.rfind("level=", 0) == 0) {
+    uint64_t Level = 0;
+    if (!parseUnsigned("--fuse level", Value.substr(6), NumOptLevels - 1,
+                       Level))
+      return false;
+    Fuse.Enabled = true;
+    Fuse.MinLevel = static_cast<uint8_t>(Level);
+    return true;
+  }
+  std::fprintf(stderr, "--fuse takes 'on', 'off' or 'level=N', not '%s'\n",
+               Value.c_str());
+  return false;
 }
 
 std::vector<std::string> splitList(const std::string &Text) {
@@ -273,6 +306,9 @@ int cmdRun(int Argc, char **Argv) {
     } else if (A.flag("--osr", Value)) {
       if (!parseOsr(Value, AosConfig.Osr.Enabled))
         return 1;
+    } else if (A.flag("--fuse", Value)) {
+      if (!parseFuse(Value, Model.Fuse))
+        return 1;
     } else if (A.boolFlag("--plans")) {
       ShowPlans = true;
     } else if (A.boolFlag("--trace-stats")) {
@@ -356,6 +392,16 @@ int cmdRun(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Code.numEvictions()),
                 static_cast<unsigned long long>(
                     Code.recompilesAfterEvict()));
+  }
+  if (Model.Fuse.Enabled) {
+    const CodeManager &Code = VM.codeManager();
+    std::printf("fusion         %llu runs (%llu instrs) installed, "
+                "%llu host bytes; %llu batches executed\n",
+                static_cast<unsigned long long>(Code.fusedRunsInstalled()),
+                static_cast<unsigned long long>(Code.fusedOpsTotal()),
+                static_cast<unsigned long long>(Code.fusedBytesTotal()),
+                static_cast<unsigned long long>(
+                    VM.counters().FusedRunsExecuted));
   }
   for (unsigned C = 0; C != NumAosComponents; ++C)
     std::printf("aos %-21s %8.4f%%\n",
@@ -443,6 +489,9 @@ int cmdTrace(int Argc, char **Argv) {
         return 1;
     } else if (A.flag("--osr", Value)) {
       if (!parseOsr(Value, Config.Aos.Osr.Enabled))
+        return 1;
+    } else if (A.flag("--fuse", Value)) {
+      if (!parseFuse(Value, Config.Model.Fuse))
         return 1;
     } else if (Argv[A.Pos][0] != '-' && Config.WorkloadName.empty()) {
       Config.WorkloadName = Argv[A.Pos++];
@@ -548,6 +597,9 @@ int cmdGrid(int Argc, char **Argv) {
         return 1;
     } else if (A.flag("--osr", Value)) {
       if (!parseOsr(Value, Config.Aos.Osr.Enabled))
+        return 1;
+    } else if (A.flag("--fuse", Value)) {
+      if (!parseFuse(Value, Config.Model.Fuse))
         return 1;
     } else if (A.flag("--csv", Value)) {
       Csv = Value;
@@ -721,6 +773,9 @@ int cmdFuzz(int Argc, char **Argv) {
     } else if (A.flag("--osr", Value)) {
       if (!parseOsr(Value, Config.Aos.Osr.Enabled))
         return 1;
+    } else if (A.flag("--fuse", Value)) {
+      if (!parseFuse(Value, Config.Model.Fuse))
+        return 1;
     } else if (A.flag("--max-diffs", Value)) {
       if (!parseUnsigned32("--max-diffs", Value, Config.MaxDifferentials))
         return 1;
@@ -856,6 +911,9 @@ int cmdSteady(int Argc, char **Argv) {
         return 1;
     } else if (A.flag("--osr", Value)) {
       if (!parseOsr(Value, Base.Aos.Osr.Enabled))
+        return 1;
+    } else if (A.flag("--fuse", Value)) {
+      if (!parseFuse(Value, Base.Model.Fuse))
         return 1;
     } else if (A.flag("--json", Value)) {
       JsonOut = Value;

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Gate host-wall-time regressions between two BENCH_interp.json files.
+
+Compares google-benchmark JSON exports (the artifacts the bench-release
+CI job uploads) benchmark-by-benchmark and fails when any benchmark
+present in both files got slower than the threshold. Simulated-cycle
+behaviour is pinned by goldens; this gate covers the other half of the
+contract — the host wall time those goldens deliberately ignore.
+
+Usage:
+  tools/check_bench_regression.py BASELINE.json CURRENT.json [--threshold 10]
+
+Exit status: 0 when no gated regression (or no usable baseline — a cold
+cache must not fail CI), 1 when at least one benchmark regressed beyond
+the threshold, 2 on malformed input.
+
+Throughput (items_per_second) is preferred when both sides report it,
+falling back to real_time; aggregate rows (mean/median/stddev) and
+error rows are skipped. Benchmarks that exist on only one side are
+reported but never gate — adding or retiring a benchmark is not a
+regression.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path, missing_ok=False):
+    """Returns {name: (items_per_second or None, real_time_ns)},
+    or None when missing_ok and the file does not exist."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        if missing_ok:
+            return None
+        print(f"error: cannot read {path}: not found", file=sys.stderr)
+        sys.exit(2)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" or "error_occurred" in b:
+            continue
+        name = b.get("name")
+        real = b.get("real_time")
+        if name is None or real is None:
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            print(f"error: {path}: unknown time_unit '{unit}'", file=sys.stderr)
+            sys.exit(2)
+        out[name] = (b.get("items_per_second"), real * scale)
+    return out
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("baseline")
+    p.add_argument("current")
+    p.add_argument("--threshold", type=float, default=10.0,
+                   help="percent slowdown that fails the gate (default 10)")
+    args = p.parse_args()
+
+    base = load_benchmarks(args.baseline, missing_ok=True)
+    if not base:
+        # A cold baseline cache (first run on a branch) must not fail CI.
+        print(f"no usable baseline at {args.baseline}; nothing to gate")
+        return 0
+    cur = load_benchmarks(args.current)
+    if not cur:
+        print(f"error: no benchmarks in {args.current}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in sorted(base):
+        if name not in cur:
+            print(f"{name:<44} {'(retired)':>12}")
+            continue
+        b_ips, b_ns = base[name]
+        c_ips, c_ns = cur[name]
+        if b_ips and c_ips:
+            # Higher is better; slowdown = throughput loss.
+            slowdown_pct = (b_ips / c_ips - 1.0) * 100.0
+            b_disp, c_disp = f"{b_ips:.3g}/s", f"{c_ips:.3g}/s"
+        else:
+            # Lower is better; slowdown = wall-time growth.
+            slowdown_pct = (c_ns / b_ns - 1.0) * 100.0
+            b_disp, c_disp = f"{b_ns:.3g}ns", f"{c_ns:.3g}ns"
+        verdict = ""
+        if slowdown_pct > args.threshold:
+            regressions.append((name, slowdown_pct))
+            verdict = "  REGRESSED"
+        print(f"{name:<44} {b_disp:>12} {c_disp:>12} "
+              f"{slowdown_pct:>+7.1f}%{verdict}")
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name:<44} {'(new)':>12}")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:g}% in host wall time:", file=sys.stderr)
+        for name, pct in regressions:
+            print(f"  {name}: {pct:+.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nok: no benchmark regressed more than {args.threshold:g}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,11 @@ def typespec:
     "phase-shift": {
       tids: [0],
       req: {method: "string", phase: "number", phases: "number"}
+    },
+    "fuse-install": {
+      tids: [2],
+      req: {method: "string", level: "number", runs: "number",
+            opsFused: "number", fusedBytes: "number"}
     }
   };
 
