@@ -85,6 +85,163 @@ void AdaptiveSystem::seedProfile(const DynamicCallGraph &Training) {
   AiOrg.rebuildRules(VM.program(), Dcg, /*NowCycle=*/0, Rules);
 }
 
+WarmStartStats AdaptiveSystem::warmStart(const ProfileData &Profile) {
+  WarmStartStats S;
+  const Program &P = VM.program();
+
+  // Resolves one name-keyed profile trace against the live program.
+  // False (drop) when any named method is absent — the stale-profile
+  // case this API must survive.
+  auto resolveTrace = [&](const ProfileTraceLine &L, Trace &T) {
+    if (L.Weight <= 0 || L.Context.empty())
+      return false;
+    T.Context.clear();
+    for (const auto &Pair : L.Context) {
+      ContextPair Resolved;
+      Resolved.Caller = P.findMethod(Pair.first);
+      Resolved.Site = Pair.second;
+      if (Resolved.Caller == InvalidMethodId)
+        return false;
+      T.Context.push_back(Resolved);
+    }
+    T.Callee = P.findMethod(L.Callee);
+    return T.Callee != InvalidMethodId;
+  };
+
+  for (const ProfileTraceLine &L : Profile.DcgTraces) {
+    Trace T;
+    if (!resolveTrace(L, T)) {
+      ++S.TracesDropped;
+      continue;
+    }
+    Dcg.addSample(T, L.Weight);
+    ++AuditTracesFed;
+    ++S.TracesApplied;
+  }
+
+  for (const ProfileHotMethod &H : Profile.HotMethods) {
+    const MethodId M = P.findMethod(H.Method);
+    if (M == InvalidMethodId || H.Samples <= 0) {
+      ++S.HotMethodsDropped;
+      continue;
+    }
+    Ctrl.seedSamples(M, H.Samples);
+    ++S.HotMethodsApplied;
+  }
+
+  for (const ProfileRefusal &R : Profile.Refusals) {
+    const MethodId Compiled = P.findMethod(R.Compiled);
+    Trace Edge;
+    ContextPair Pair;
+    Pair.Caller = P.findMethod(R.Caller);
+    Pair.Site = R.Site;
+    Edge.Context.push_back(Pair);
+    Edge.Callee = P.findMethod(R.Callee);
+    if (Compiled == InvalidMethodId || Pair.Caller == InvalidMethodId ||
+        Edge.Callee == InvalidMethodId) {
+      ++S.RefusalsDropped;
+      continue;
+    }
+    Db.recordRefusal(Compiled, Edge);
+    ++S.RefusalsApplied;
+  }
+
+  // Codify rules from the seeded DCG, then re-apply persisted decisions
+  // the thresholds alone would not recreate (rules whose supporting
+  // weight had already decayed when the profile was saved).
+  AiOrg.rebuildRules(P, Dcg, /*NowCycle=*/0, Rules);
+  for (const ProfileTraceLine &L : Profile.Decisions) {
+    Trace T;
+    if (!resolveTrace(L, T)) {
+      ++S.DecisionsDropped;
+      continue;
+    }
+    if (!Rules.find(T))
+      Rules.add(InliningRule{T, L.Weight, /*CreatedAtCycle=*/0});
+    ++S.DecisionsApplied;
+  }
+
+  if (Profile.HasThresholds) {
+    S.ThresholdMismatches +=
+        (Profile.DecayFactor != Config.DecayFactor) +
+        (Profile.HotMethodSamples != Config.ControllerCfg.HotMethodSamples) +
+        (Profile.HotTraceThreshold != Config.Ai.HotTraceThreshold) +
+        (Profile.MinRuleWeight != Config.Ai.MinRuleWeight);
+  }
+
+  // Provenance event for observability; charges nothing, like all trace
+  // emission (see OBSERVABILITY.md).
+  TraceSink *Sink = VM.traceSink();
+  if (Sink && Sink->wants(TraceEventKind::ProfileLoad)) {
+    TraceEvent &E = Sink->append(TraceEventKind::ProfileLoad,
+                                 traceTrack(AosComponent::AiOrganizer),
+                                 VM.cycles());
+    E.A = static_cast<int64_t>(Profile.Version);
+    E.B = static_cast<int64_t>(S.TracesApplied);
+    E.C = static_cast<int64_t>(S.DecisionsApplied);
+    E.D = static_cast<int64_t>(S.HotMethodsApplied);
+    E.E = static_cast<int64_t>(S.RefusalsApplied);
+    E.X = static_cast<double>(S.dropped());
+  }
+  return S;
+}
+
+ProfileData AdaptiveSystem::snapshotProfile(const std::string &Workload) const {
+  ProfileData D;
+  D.Workload = Workload;
+  D.SavedAtCycle = VM.cycles();
+  D.HasThresholds = true;
+  D.DecayFactor = Config.DecayFactor;
+  D.HotMethodSamples = Config.ControllerCfg.HotMethodSamples;
+  D.HotTraceThreshold = Config.Ai.HotTraceThreshold;
+  D.MinRuleWeight = Config.Ai.MinRuleWeight;
+
+  const Program &P = VM.program();
+  auto nameTrace = [&](const Trace &T, double Weight) {
+    ProfileTraceLine L;
+    L.Weight = Weight;
+    for (const ContextPair &Pair : T.Context)
+      L.Context.emplace_back(P.qualifiedName(Pair.Caller), Pair.Site);
+    L.Callee = P.qualifiedName(T.Callee);
+    return L;
+  };
+
+  Dcg.forEach([&](const Trace &T, double Weight) {
+    D.DcgTraces.push_back(nameTrace(T, Weight));
+  });
+  Rules.forEach([&](const InliningRule &R) {
+    D.Decisions.push_back(nameTrace(R.T, R.Weight));
+  });
+  Ctrl.forEachSample([&](MethodId M, double Samples) {
+    // Persist only methods the controller actually chose to optimize
+    // (an optimized variant is installed at snapshot time). Marginal
+    // sample counts are noise: re-seeding them gives never-optimized
+    // methods a head start toward the compile break-even point, so the
+    // warm run compiles stragglers late in the run that a cold run
+    // never would — *extending* time-to-steady-state instead of
+    // shrinking it (the warm-start bench measures exactly this).
+    if (Samples < Config.ControllerCfg.HotMethodSamples)
+      return;
+    const CodeVariant *Cur = VM.codeManager().current(M);
+    if (!Cur || Cur->Level == OptLevel::Baseline)
+      return;
+    ProfileHotMethod H;
+    H.Samples = Samples;
+    H.Method = P.qualifiedName(M);
+    D.HotMethods.push_back(std::move(H));
+  });
+  Db.forEachRefusal(
+      [&](MethodId Compiled, const ContextPair &Edge, MethodId Callee) {
+        ProfileRefusal R;
+        R.Compiled = P.qualifiedName(Compiled);
+        R.Caller = P.qualifiedName(Edge.Caller);
+        R.Site = Edge.Site;
+        R.Callee = P.qualifiedName(Callee);
+        D.Refusals.push_back(std::move(R));
+      });
+  return D;
+}
+
 void AdaptiveSystem::onSample(VirtualMachine &SampledVm, ThreadState &Thread,
                               bool AtPrologue) {
   assert(&SampledVm == &VM && "system attached to a different VM");

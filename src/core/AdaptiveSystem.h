@@ -29,6 +29,7 @@
 #include "opt/Compiler.h"
 #include "osr/OsrManager.h"
 #include "profile/Listeners.h"
+#include "profile/ProfileIo.h"
 #include "vm/VirtualMachine.h"
 
 #include <deque>
@@ -98,6 +99,35 @@ struct AosStats {
   uint64_t OptCompilations = 0;
 };
 
+/// Counters returned by AdaptiveSystem::warmStart(): how much of a
+/// persisted profile actually applied against the live program. Dropped
+/// counts are entries naming methods the program lacks or that fail
+/// re-validation — a stale profile degrades the warm start, it never
+/// fails the run (the graceful-degradation half of the paper's
+/// stale-profile argument; see docs/profile-format.md).
+struct WarmStartStats {
+  uint64_t TracesApplied = 0;
+  uint64_t TracesDropped = 0;
+  uint64_t DecisionsApplied = 0;
+  uint64_t DecisionsDropped = 0;
+  uint64_t HotMethodsApplied = 0;
+  uint64_t HotMethodsDropped = 0;
+  uint64_t RefusalsApplied = 0;
+  uint64_t RefusalsDropped = 0;
+  /// Saved organizer thresholds that differ from the consuming system's
+  /// configuration. Informational: live configuration always wins.
+  uint64_t ThresholdMismatches = 0;
+
+  uint64_t applied() const {
+    return TracesApplied + DecisionsApplied + HotMethodsApplied +
+           RefusalsApplied;
+  }
+  uint64_t dropped() const {
+    return TracesDropped + DecisionsDropped + HotMethodsDropped +
+           RefusalsDropped;
+  }
+};
+
 /// The adaptive optimization system. Construct it over a VM and a policy,
 /// then call attach() (or pass it to VirtualMachine::setSampleSink
 /// manually) and run the VM.
@@ -127,6 +157,23 @@ public:
   /// of the paper's related work. Seeded rules carry creation time 0 so
   /// they never look "newer" than installed code. Call before run().
   void seedProfile(const DynamicCallGraph &Training);
+
+  /// Re-seeds the full AOS decision state from a v2 profile (the
+  /// `--warm-start` path): DCG trace weights, controller sample counts,
+  /// compiler refusals, and codified inlining decisions, resolving the
+  /// profile's method names against the live program. Entries that fail
+  /// to resolve are dropped and counted, never fatal. Seeded rules and
+  /// decisions carry creation time 0 so they never look newer than
+  /// installed code; seeded samples and weights decay exactly like
+  /// organic ones, so a stale profile fades out through the decay
+  /// organizer. Emits one uncharged `profile-load` trace event when a
+  /// sink is attached. Call before run().
+  WarmStartStats warmStart(const ProfileData &Profile);
+
+  /// Snapshots the AOS decision state into a v2 profile (the
+  /// `--profile-out` path). \p Workload is recorded as provenance in the
+  /// [meta] section. The inverse of warmStart() up to name resolution.
+  ProfileData snapshotProfile(const std::string &Workload) const;
 
   void onSample(VirtualMachine &SampledVm, ThreadState &Thread,
                 bool AtPrologue) override;

@@ -23,6 +23,7 @@
 #include "profile/Context.h"
 #include "vm/CostModel.h"
 
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -54,6 +55,19 @@ public:
   bool isRefused(MethodId Compiled, const Trace &Edge) const;
 
   size_t numRefusals() const { return NumRefusals; }
+
+  /// Invokes \p Fn for every recorded refusal as (compiled method, refused
+  /// edge, callee). Iteration order is unspecified; callers that need
+  /// determinism (profile serialization) must sort. Used by
+  /// AdaptiveSystem::snapshotProfile to persist refusals so a warm-started
+  /// system does not re-request recompilations the optimizing compiler
+  /// already declined.
+  void forEachRefusal(
+      const std::function<void(MethodId Compiled, const ContextPair &Edge,
+                               MethodId Callee)> &Fn) const {
+    for (const RefusalKey &K : Refusals)
+      Fn(K.Compiled, K.Edge, K.Callee);
+  }
 
   //===--------------------------------------------------------------------===//
   // Compilation events

@@ -24,6 +24,7 @@
 #include "vm/CodeManager.h"
 #include "vm/CostModel.h"
 
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -96,6 +97,23 @@ public:
 
   /// Current decayed sample count of \p M.
   double samples(MethodId M) const;
+
+  /// Seeds \p M's decayed sample count (warm start from a persisted
+  /// profile). Overwrites any existing count; subject to decay exactly
+  /// like organically accumulated samples, so a stale seed fades away.
+  void seedSamples(MethodId M, double Count) {
+    if (Count > 0)
+      SampleCounts[M] = Count;
+  }
+
+  /// Invokes \p Fn for every (method, decayed sample count) pair.
+  /// Iteration order is unspecified; callers that need determinism
+  /// (profile serialization) must sort.
+  void
+  forEachSample(const std::function<void(MethodId, double)> &Fn) const {
+    for (const auto &Entry : SampleCounts)
+      Fn(Entry.first, Entry.second);
+  }
 
   /// Methods whose decayed sample count is at least HotMethodSamples,
   /// sorted by id. This is the missing-edge organizer's scan set.

@@ -64,10 +64,12 @@ std::string aoci::exportMetricsCsv(const GridResults &Results) {
   std::string Out =
       "workload,policy,max_depth,kind,worker,queue_ns,host_ns,run_cycles,"
       "steady,warmup_cycles,steady_cycles,fused_runs,fused_ops,"
-      "fused_bytes\n";
+      "fused_bytes,warm_start,warm_applied,warm_dropped,"
+      "opt_compile_cycles\n";
   for (const RunMetrics &M : Results.metrics())
     Out += formatString(
-        "%s,%s,%u,%s,%u,%llu,%llu,%llu,%s,%llu,%llu,%llu,%llu,%llu\n",
+        "%s,%s,%u,%s,%u,%llu,%llu,%llu,%s,%llu,%llu,%llu,%llu,%llu,"
+        "%s,%llu,%llu,%llu\n",
         M.WorkloadName.c_str(),
         M.IsBaseline ? "cins" : policyKindName(M.Policy), M.MaxDepth,
         M.IsBaseline ? "baseline" : "cell", M.Worker,
@@ -79,6 +81,10 @@ std::string aoci::exportMetricsCsv(const GridResults &Results) {
         static_cast<unsigned long long>(M.SteadyCycles),
         static_cast<unsigned long long>(M.FusedRuns),
         static_cast<unsigned long long>(M.FusedOps),
-        static_cast<unsigned long long>(M.FusedBytes));
+        static_cast<unsigned long long>(M.FusedBytes),
+        M.WarmStarted ? "yes" : "no",
+        static_cast<unsigned long long>(M.WarmApplied),
+        static_cast<unsigned long long>(M.WarmDropped),
+        static_cast<unsigned long long>(M.OptCompileCycles));
   return Out;
 }

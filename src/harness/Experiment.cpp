@@ -37,6 +37,9 @@ RunResult aoci::runExperiment(const RunConfig &Config) {
   if (Config.CollectTraceStats)
     Aos.traceListener().enableStatistics();
   Aos.attach();
+  WarmStartStats Warm;
+  if (Config.WarmStart)
+    Warm = Aos.warmStart(*Config.WarmStart);
   for (MethodId Entry : W.Entries)
     VM.addThread(Entry);
   VM.run();
@@ -71,6 +74,13 @@ RunResult aoci::runExperiment(const RunConfig &Config) {
   R.FusedRuns = VM.codeManager().fusedRunsInstalled();
   R.FusedOps = VM.codeManager().fusedOpsTotal();
   R.FusedBytes = VM.codeManager().fusedBytesTotal();
+  R.WarmStarted = Config.WarmStart != nullptr;
+  R.WarmStartApplied = Warm.applied();
+  R.WarmStartDropped = Warm.dropped();
+  R.DecayEntriesDropped = Aos.stats().DecayEntriesDropped;
+  if (Config.CaptureProfile)
+    R.CapturedProfile =
+        serializeProfileData(Aos.snapshotProfile(W.Name));
 
   R.ClassesLoaded = W.Prog.numClasses();
   for (MethodId M = 0; M != W.Prog.numMethods(); ++M) {
@@ -230,6 +240,8 @@ std::vector<PlannedRun> planGrid(const GridConfig &Config) {
     Base.Config.MaxDepth = 1;
     Base.Config.Aos = Config.Aos;
     Base.Config.Model = Config.Model;
+    Base.Config.WarmStart = Config.WarmStart;
+    Base.Config.CaptureProfile = Config.CaptureProfile;
     Base.IsBaseline = true;
     Plan.push_back(Base);
     for (PolicyKind Policy : Config.Policies) {
@@ -263,6 +275,10 @@ RunMetrics makeMetrics(const PlannedRun &Run, const RunResult &Result,
   M.FusedRuns = Result.FusedRuns;
   M.FusedOps = Result.FusedOps;
   M.FusedBytes = Result.FusedBytes;
+  M.WarmStarted = Result.WarmStarted;
+  M.WarmApplied = Result.WarmStartApplied;
+  M.WarmDropped = Result.WarmStartDropped;
+  M.OptCompileCycles = Result.OptCompileCycles;
   // The steady/warmup split comes from the run's own trace stream; a
   // grid without tracing (or with a filter missing the needed kinds)
   // reports the verdict as unknown rather than guessing.

@@ -56,6 +56,20 @@ struct RunConfig {
   /// share a jitter stream. Shared (not owned) so RunConfigs stay
   /// cheaply copyable across grid plans and fuzz trials.
   std::shared_ptr<const ScenarioSpec> Scenario;
+  /// Warm start (`--warm-start`): re-seed the adaptive system's state
+  /// from this parsed profile (see profile/ProfileIo.h and
+  /// docs/profile-format.md) before the first bytecode executes.
+  /// Entries that fail to resolve against the run's program are dropped
+  /// and counted in RunResult, never fatal. Null (the default) is the
+  /// cold start every pre-existing golden was recorded under. Shared
+  /// (not owned) so RunConfigs stay cheaply copyable; deriveRunSeed()
+  /// deliberately does not mix it in, so warm and cold trials of one
+  /// configuration see identical timer jitter.
+  std::shared_ptr<const ProfileData> WarmStart;
+  /// Snapshot the adaptive system's state into RunResult::CapturedProfile
+  /// after the run (`--profile-out`). Pure post-run observation: the run
+  /// itself is byte-identical with this on or off.
+  bool CaptureProfile = false;
 };
 
 /// Everything measured in one run.
@@ -111,6 +125,25 @@ struct RunResult {
   uint64_t FusedRuns = 0;
   uint64_t FusedOps = 0;
   uint64_t FusedBytes = 0;
+
+  /// Warm-start provenance (all zero/false on a cold start, i.e. without
+  /// RunConfig::WarmStart). Applied/Dropped aggregate every profile
+  /// section (traces, decisions, hot methods, refusals); a large Dropped
+  /// count is the signature of a stale profile. Kept out of the frozen
+  /// grid CSV; the metrics CSV carries them
+  /// (`warm_start,warm_applied,warm_dropped`).
+  bool WarmStarted = false;
+  uint64_t WarmStartApplied = 0;
+  uint64_t WarmStartDropped = 0;
+  /// DCG entries the decay organizer dropped below the retention
+  /// threshold (AosStats::DecayEntriesDropped). Surfaced here because a
+  /// stale warm start must visibly fade out through decay — the
+  /// warm-start bench asserts this counter is nonzero on its stale leg.
+  uint64_t DecayEntriesDropped = 0;
+  /// The serialized v2 profile snapshot taken after the run when
+  /// RunConfig::CaptureProfile is set; empty otherwise. runBestOf keeps
+  /// the best trial's snapshot, matching every other reported field.
+  std::string CapturedProfile;
 
   /// Table 1 characteristics: classes in the program, methods and
   /// bytecodes dynamically compiled (i.e. actually executed at least
@@ -181,6 +214,14 @@ struct RunMetrics {
   uint64_t FusedRuns = 0;
   uint64_t FusedOps = 0;
   uint64_t FusedBytes = 0;
+  /// Warm-start provenance of the best trial (see RunResult), appended
+  /// to the metrics CSV as `warm_start,warm_applied,warm_dropped`, and
+  /// the optimizing-compiler cycles (`opt_compile_cycles`) whose cold-
+  /// vs-warm delta is the "compile cycles saved" a warm start buys.
+  bool WarmStarted = false;
+  uint64_t WarmApplied = 0;
+  uint64_t WarmDropped = 0;
+  uint64_t OptCompileCycles = 0;
   /// Steady-state verdict for the best trial (see SteadyState.h). Known
   /// only when the run traced the kinds detection needs
   /// (steadyStateKindMask()); SteadyReached/Warmup/Steady are meaningful
@@ -212,6 +253,15 @@ struct GridConfig {
   bool Trace = false;
   /// Event kinds recorded when Trace is on (a parseTraceFilter() mask).
   uint32_t TraceKindMask = TraceAllKinds;
+  /// Warm start every run of the sweep (baselines and cells) from this
+  /// profile; see RunConfig::WarmStart. Serial and parallel sweeps stay
+  /// byte-identical — warm-start application is simulated work, ordered
+  /// before the first sample like everything else.
+  std::shared_ptr<const ProfileData> WarmStart;
+  /// Capture a post-run profile snapshot for every run of the sweep
+  /// into RunResult::CapturedProfile (the grid `--profile-out DIR`
+  /// path).
+  bool CaptureProfile = false;
 
   GridConfig();
 };

@@ -219,6 +219,7 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
   uint64_t TotalOsrEntries = 0, TotalDeopts = 0;
   uint64_t TotalEvictions = 0;
   uint64_t TotalFusedRuns = 0, TotalFusedBytes = 0;
+  uint64_t WarmRuns = 0, TotalWarmApplied = 0, TotalWarmDropped = 0;
   unsigned MaxWorker = 0;
   unsigned SteadyKnown = 0, SteadyReached = 0;
   for (const RunMetrics &M : Metrics) {
@@ -242,6 +243,9 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
     TotalEvictions += M.Evictions;
     TotalFusedRuns += M.FusedRuns;
     TotalFusedBytes += M.FusedBytes;
+    WarmRuns += M.WarmStarted;
+    TotalWarmApplied += M.WarmApplied;
+    TotalWarmDropped += M.WarmDropped;
     SteadyKnown += M.SteadyKnown;
     SteadyReached += M.SteadyReached;
     MaxWorker = std::max(MaxWorker, M.Worker);
@@ -276,6 +280,13 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
         "handlers) across the sweep\n",
         static_cast<unsigned long long>(TotalFusedRuns),
         static_cast<unsigned long long>(TotalFusedBytes));
+  if (WarmRuns != 0)
+    Out += formatString(
+        "  warm start: %llu run(s) seeded from a profile (%llu entries "
+        "applied, %llu dropped as stale)\n",
+        static_cast<unsigned long long>(WarmRuns),
+        static_cast<unsigned long long>(TotalWarmApplied),
+        static_cast<unsigned long long>(TotalWarmDropped));
   if (SteadyKnown != 0)
     Out += formatString(
         "  steady state: %u of %u traced runs settled (warm Mcy column "

@@ -9,17 +9,30 @@
 /// Text serialization of profile data. The paper contrasts its online
 /// system with the offline profile-directed inliners of its related work
 /// (Section 6: train on one run, optimize the next). This module makes
-/// that comparison runnable: a run's dynamic call graph can be saved and
-/// replayed into a later run as pre-seeded inlining rules, turning the
-/// system into the classic offline pipeline. The replay bench measures
-/// how much of the online system's benefit a training run captures — and
-/// what happens when training and production behaviour diverge (the
-/// mispredict vulnerability the paper attributes to offline systems).
+/// that comparison runnable in two tiers:
 ///
-/// Format: one line per trace,
-///   weight caller:site [caller:site ...] => callee
-/// with methods identified by their stable qualified names, so a profile
-/// survives regeneration of the same workload.
+///  - The legacy v1 format (serializeProfile/deserializeProfile) is the
+///    bare dynamic call graph, one line per trace:
+///      weight caller:site [caller:site ...] => callee
+///    with methods identified by their stable qualified names, so a
+///    profile survives regeneration of the same workload.
+///
+///  - The versioned v2 format (ProfileData, serializeProfileData,
+///    parseProfile) is the full AOS decision state: a magic + version
+///    header followed by bracketed sections for the DCG traces, the
+///    codified inlining decisions, the controller's hot-method sample
+///    counts, the compiler's inline refusals, and the organizer
+///    thresholds in effect. docs/profile-format.md is the normative
+///    spec (grammar, determinism and forward-compatibility rules, an
+///    annotated example). AdaptiveSystem::snapshotProfile() and
+///    AdaptiveSystem::warmStart() are the save/load hooks; `aoci run
+///    --profile-out/--warm-start` is the CLI surface.
+///
+/// v2 parsing is Program-independent: ProfileData stores qualified
+/// method *names*, and resolution against a concrete Program happens at
+/// warm-start time, where entries naming methods the production program
+/// lacks are dropped and counted rather than failing the run — the
+/// graceful-degradation half of the paper's stale-profile argument.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,18 +41,99 @@
 
 #include "profile/DynamicCallGraph.h"
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace aoci {
 
-/// Serializes \p Dcg to the textual format. Deterministic: traces are
-/// sorted.
+/// The profile version this build writes and the only one it accepts.
+constexpr unsigned ProfileFormatVersion = 2;
+
+/// One serialized trace line of the [dcg] or [decisions] section:
+/// a weight, an innermost-first context chain of (caller name, site)
+/// pairs, and the callee name.
+struct ProfileTraceLine {
+  double Weight = 0;
+  std::vector<std::pair<std::string, uint32_t>> Context;
+  std::string Callee;
+};
+
+/// One [hot-methods] line: a decayed sample count for a method.
+struct ProfileHotMethod {
+  double Samples = 0;
+  std::string Method;
+};
+
+/// One [refusals] line: the optimizing compiler refused to inline the
+/// edge (Caller, Site) => Callee while compiling Compiled.
+struct ProfileRefusal {
+  std::string Compiled;
+  std::string Caller;
+  uint32_t Site = 0;
+  std::string Callee;
+};
+
+/// The parsed (or to-be-serialized) contents of a v2 profile file.
+/// Method references are qualified names; nothing here depends on a
+/// Program. See docs/profile-format.md for the file grammar.
+struct ProfileData {
+  unsigned Version = ProfileFormatVersion;
+
+  /// [meta] — provenance, informational.
+  std::string Workload;
+  uint64_t SavedAtCycle = 0;
+
+  /// [thresholds] — the organizer knobs in effect when the profile was
+  /// saved. Informational on load: warm start validates them against
+  /// the consuming system's configuration and counts mismatches, but
+  /// never overrides live configuration from a file.
+  bool HasThresholds = false;
+  double HotTraceThreshold = 0;
+  double MinRuleWeight = 0;
+  double HotMethodSamples = 0;
+  double DecayFactor = 0;
+
+  /// [dcg] — the dynamic call graph's context traces with weights.
+  std::vector<ProfileTraceLine> DcgTraces;
+  /// [decisions] — the codified inlining rules at snapshot time.
+  std::vector<ProfileTraceLine> Decisions;
+  /// [hot-methods] — the controller's decayed sample counts.
+  std::vector<ProfileHotMethod> HotMethods;
+  /// [refusals] — the AOS database's inline refusals.
+  std::vector<ProfileRefusal> Refusals;
+
+  /// Non-fatal parse diagnostics (unknown sections or threshold keys
+  /// skipped under the forward-compatibility rules), one per line
+  /// skipped, each with its line number.
+  std::vector<std::string> Warnings;
+};
+
+/// Serializes \p Data to the v2 textual format. Deterministic: sections
+/// are emitted in a fixed order and lines within each section are
+/// sorted, so equal ProfileData always yields identical bytes.
+std::string serializeProfileData(const ProfileData &Data);
+
+/// Parses a v2 profile file into \p Data (reset first). Returns false
+/// with a diagnostic in \p Error — always naming the line number, the
+/// enclosing section, and the offending token — when the header is
+/// missing, the version is unsupported, or a line is malformed.
+/// Unknown sections and unknown [thresholds]/[meta] keys are skipped
+/// with a warning in Data.Warnings instead of failing (the
+/// forward-compatibility rule; see docs/profile-format.md).
+bool parseProfile(const std::string &Text, ProfileData &Data,
+                  std::string &Error);
+
+/// Serializes \p Dcg to the legacy v1 format (bare DCG, no header).
+/// Deterministic: traces are sorted.
 std::string serializeProfile(const Program &P, const DynamicCallGraph &Dcg);
 
-/// Parses a serialized profile back into \p Dcg (which is cleared
+/// Parses a legacy v1 profile back into \p Dcg (which is cleared
 /// first), resolving method names against \p P. Returns false (leaving
 /// \p Dcg cleared) when the text is malformed or names a method \p P
-/// does not contain; \p Error receives a diagnostic.
+/// does not contain; \p Error receives a diagnostic with the line
+/// number and offending token.
 bool deserializeProfile(const Program &P, const std::string &Text,
                         DynamicCallGraph &Dcg, std::string &Error);
 

@@ -73,9 +73,14 @@ enum class TraceEventKind : uint8_t {
   /// Uncharged host-side bookkeeping; a zero run count records that
   /// fusion ran but found nothing to batch.
   FuseInstall,
+  /// A persisted profile re-seeded the AOS state before the run
+  /// (AdaptiveSystem::warmStart, the `--warm-start` flag): per-section
+  /// applied counts plus the total dropped by stale-name resolution.
+  /// Emitted uncharged, at most once per run, before the first sample.
+  ProfileLoad,
 };
 
-constexpr unsigned NumTraceEventKinds = 16;
+constexpr unsigned NumTraceEventKinds = 17;
 
 /// Stable kebab-case names (JSON `name` field, `--trace-filter` tokens).
 const char *traceEventKindName(TraceEventKind K);

@@ -225,6 +225,14 @@ void writeArgs(std::ostream &OS, const TraceSink &Sink, const TraceEvent &E) {
     intArg(OS, First, "opsFused", E.C);
     intArg(OS, First, "fusedBytes", E.D);
     break;
+  case TraceEventKind::ProfileLoad:
+    intArg(OS, First, "version", E.A);
+    intArg(OS, First, "traces", E.B);
+    intArg(OS, First, "decisions", E.C);
+    intArg(OS, First, "hotMethods", E.D);
+    intArg(OS, First, "refusals", E.E);
+    numArg(OS, First, "dropped", E.X);
+    break;
   }
   OS << "}";
 }

@@ -51,6 +51,8 @@ const char *aoci::traceEventKindName(TraceEventKind K) {
     return "phase-shift";
   case TraceEventKind::FuseInstall:
     return "fuse-install";
+  case TraceEventKind::ProfileLoad:
+    return "profile-load";
   }
   return "<invalid>";
 }

@@ -126,6 +126,10 @@ TEST(GoldenTest, MetricsCsvFormat) {
   M.FusedRuns = 12;
   M.FusedOps = 87;
   M.FusedBytes = 4176;
+  M.WarmStarted = true;
+  M.WarmApplied = 57;
+  M.WarmDropped = 3;
+  M.OptCompileCycles = 180000;
   Results.addMetrics(M);
   M.MaxDepth = 4;
   M.Worker = 1;
@@ -138,6 +142,10 @@ TEST(GoldenTest, MetricsCsvFormat) {
   M.FusedRuns = 0;
   M.FusedOps = 0;
   M.FusedBytes = 0;
+  M.WarmStarted = false;
+  M.WarmApplied = 0;
+  M.WarmDropped = 0;
+  M.OptCompileCycles = 0;
   Results.addMetrics(M);
   expectMatchesGolden("metrics_csv.golden", exportMetricsCsv(Results));
 }

@@ -59,17 +59,20 @@ int usage() {
       "  aoci run <workload> [--policy P] [--depth N] [--scale X]\n"
       "           [--seed N] [--osr on|off] [--code-cache BYTES]\n"
       "           [--fuse on|off|level=N] [--plans] [--trace-stats]\n"
+      "           [--profile-out FILE] [--warm-start FILE]\n"
       "           [--save-profile FILE] [--load-profile FILE]\n"
       "  aoci grid [--workloads a,b] [--policies p,q] [--depths 2,3]\n"
       "            [--scale X] [--trials N] [--jobs N] [--osr on|off]\n"
       "            [--code-cache BYTES] [--fuse on|off|level=N]\n"
       "            [--csv FILE] [--metrics-csv FILE] [--metrics]\n"
       "            [--trace-out FILE] [--trace-filter kinds]\n"
+      "            [--profile-out DIR] [--warm-start FILE]\n"
       "            [--report fig4|fig5|fig6|compile|summary|all]\n"
       "  aoci trace <workload> [--trace-out FILE] [--trace-filter kinds]\n"
       "             [--policy P] [--depth N] [--scale X] [--seed N]\n"
       "             [--trials N] [--max-events N] [--osr on|off]\n"
       "             [--code-cache BYTES] [--fuse on|off|level=N]\n"
+      "             [--profile-out FILE] [--warm-start FILE]\n"
       "  aoci disasm <workload> [method]\n"
       "  aoci fuzz [--seed N] [--budget N] [--policy-a P] [--depth-a N]\n"
       "            [--policy-b P] [--depth-b N] [--threshold PCT]\n"
@@ -97,6 +100,13 @@ int usage() {
       "--code-cache: bound total installed code bytes; victims are chosen\n"
       "  deterministically (least-recently-invoked by simulated cycle) and\n"
       "  live activations deoptimize first; 0 (default) = unbounded\n"
+      "--profile-out: save the run's full AOS decision state (DCG trace\n"
+      "  weights, hot-method samples, inline decisions and refusals) as a\n"
+      "  versioned v2 profile; see docs/profile-format.md. On grid, DIR\n"
+      "  receives one .prof per run\n"
+      "--warm-start: re-seed the adaptive system from a v2 profile before\n"
+      "  the run; stale entries are dropped and counted, never fatal.\n"
+      "  (--save-profile/--load-profile are the legacy bare-DCG v1 pair)\n"
       "--fuse: superinstruction fusion — lower straight-line runs of hot\n"
       "  method bodies into batched handlers at install time. Host-side\n"
       "  only: simulated cycles are bit-identical on or off. 'on' fuses\n"
@@ -233,6 +243,40 @@ struct Args {
   bool done() const { return Pos >= Argc; }
 };
 
+/// Reads and parses a `--warm-start` v2 profile file. Parse warnings
+/// (unknown sections/keys under the forward-compat rules) go to stderr;
+/// errors carry the line/section/token diagnostic from parseProfile().
+std::shared_ptr<const ProfileData>
+loadWarmStartProfile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "cannot read '%s'\n", Path.c_str());
+    return nullptr;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  auto Profile = std::make_shared<ProfileData>();
+  std::string Error;
+  if (!parseProfile(Buffer.str(), *Profile, Error)) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), Error.c_str());
+    return nullptr;
+  }
+  for (const std::string &W : Profile->Warnings)
+    std::fprintf(stderr, "%s: warning: %s\n", Path.c_str(), W.c_str());
+  return Profile;
+}
+
+/// Writes serialized profile bytes, reporting failures to stderr.
+bool writeProfileFile(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  Out << Bytes;
+  return true;
+}
+
 int cmdList() {
   for (const std::string &Name : workloadNames()) {
     Workload W = makeWorkload(Name, WorkloadParams{1, 0.01});
@@ -273,6 +317,7 @@ int cmdRun(int Argc, char **Argv) {
   CostModel Model;
   bool ShowPlans = false, TraceStats = false;
   std::string SaveProfile, LoadProfile;
+  std::string ProfileOut, WarmStartPath;
 
   Args A{Argc, Argv};
   A.Pos = 3;
@@ -303,6 +348,10 @@ int cmdRun(int Argc, char **Argv) {
       SaveProfile = Value;
     } else if (A.flag("--load-profile", Value)) {
       LoadProfile = Value;
+    } else if (A.flag("--profile-out", Value)) {
+      ProfileOut = Value;
+    } else if (A.flag("--warm-start", Value)) {
+      WarmStartPath = Value;
     } else if (A.flag("--osr", Value)) {
       if (!parseOsr(Value, AosConfig.Osr.Enabled))
         return 1;
@@ -343,6 +392,27 @@ int cmdRun(int Argc, char **Argv) {
     std::printf("seeded %zu training traces\n", Training.numTraces());
   }
   Aos.attach();
+  if (!WarmStartPath.empty()) {
+    std::shared_ptr<const ProfileData> Profile =
+        loadWarmStartProfile(WarmStartPath);
+    if (!Profile)
+      return 1;
+    const WarmStartStats S = Aos.warmStart(*Profile);
+    std::printf("warm start     %llu entries applied, %llu dropped "
+                "(%llu traces, %llu decisions, %llu hot methods, "
+                "%llu refusals)\n",
+                static_cast<unsigned long long>(S.applied()),
+                static_cast<unsigned long long>(S.dropped()),
+                static_cast<unsigned long long>(S.TracesApplied),
+                static_cast<unsigned long long>(S.DecisionsApplied),
+                static_cast<unsigned long long>(S.HotMethodsApplied),
+                static_cast<unsigned long long>(S.RefusalsApplied));
+    if (S.ThresholdMismatches != 0)
+      std::fprintf(stderr,
+                   "warning: %llu saved threshold(s) differ from this "
+                   "run's configuration (live values win)\n",
+                   static_cast<unsigned long long>(S.ThresholdMismatches));
+  }
   for (MethodId Entry : W.Entries)
     VM.addThread(Entry);
   VM.run();
@@ -437,6 +507,12 @@ int cmdRun(int Argc, char **Argv) {
     Out << serializeProfile(W.Prog, Aos.dcg());
     std::printf("profile saved to %s\n", SaveProfile.c_str());
   }
+  if (!ProfileOut.empty()) {
+    if (!writeProfileFile(
+            ProfileOut, serializeProfileData(Aos.snapshotProfile(W.Name))))
+      return 1;
+    std::printf("v2 profile saved to %s\n", ProfileOut.c_str());
+  }
   return 0;
 }
 
@@ -444,6 +520,7 @@ int cmdTrace(int Argc, char **Argv) {
   RunConfig Config;
   Config.WorkloadName.clear();
   std::string TraceOut, Filter;
+  std::string ProfileOut, WarmStartPath;
   unsigned Trials = 1;
   uint64_t MaxEvents = 0;
 
@@ -493,6 +570,10 @@ int cmdTrace(int Argc, char **Argv) {
     } else if (A.flag("--fuse", Value)) {
       if (!parseFuse(Value, Config.Model.Fuse))
         return 1;
+    } else if (A.flag("--profile-out", Value)) {
+      ProfileOut = Value;
+    } else if (A.flag("--warm-start", Value)) {
+      WarmStartPath = Value;
     } else if (Argv[A.Pos][0] != '-' && Config.WorkloadName.empty()) {
       Config.WorkloadName = Argv[A.Pos++];
     } else {
@@ -517,11 +598,23 @@ int cmdTrace(int Argc, char **Argv) {
     return 1;
   }
 
+  if (!WarmStartPath.empty()) {
+    Config.WarmStart = loadWarmStartProfile(WarmStartPath);
+    if (!Config.WarmStart)
+      return 1;
+  }
+  Config.CaptureProfile = !ProfileOut.empty();
+
   TraceSink Sink;
   Sink.enable(Mask);
   Sink.setCapacity(MaxEvents);
   Config.Trace = &Sink;
   RunResult R = runBestOf(Config, Trials < 1 ? 1 : Trials);
+  if (!ProfileOut.empty()) {
+    if (!writeProfileFile(ProfileOut, R.CapturedProfile))
+      return 1;
+    std::fprintf(stderr, "v2 profile saved to %s\n", ProfileOut.c_str());
+  }
 
   const std::string ProcessName =
       Config.Policy == PolicyKind::ContextInsensitive
@@ -554,6 +647,7 @@ int cmdGrid(int Argc, char **Argv) {
   GridConfig Config;
   std::string Report = "all";
   std::string Csv, MetricsCsv, TraceOut, TraceFilter;
+  std::string ProfileOutDir, WarmStartPath;
   // 0 lets runGridParallel pick hardware_concurrency. Results are
   // byte-identical for every job count; see DESIGN.md.
   unsigned Jobs = 0;
@@ -611,6 +705,10 @@ int cmdGrid(int Argc, char **Argv) {
       TraceOut = Value;
     } else if (A.flag("--trace-filter", Value)) {
       TraceFilter = Value;
+    } else if (A.flag("--profile-out", Value)) {
+      ProfileOutDir = Value;
+    } else if (A.flag("--warm-start", Value)) {
+      WarmStartPath = Value;
     } else if (A.flag("--report", Value)) {
       Report = Value;
     } else {
@@ -627,6 +725,12 @@ int cmdGrid(int Argc, char **Argv) {
       return 1;
     }
   }
+  if (!WarmStartPath.empty()) {
+    Config.WarmStart = loadWarmStartProfile(WarmStartPath);
+    if (!Config.WarmStart)
+      return 1;
+  }
+  Config.CaptureProfile = !ProfileOutDir.empty();
 
   GridResults Results =
       runGridParallel(Config, Jobs, [](const std::string &Line) {
@@ -682,6 +786,30 @@ int cmdGrid(int Argc, char **Argv) {
     exportGridTrace(Out, Results);
     std::fprintf(stderr, "trace written to %s (load it at ui.perfetto.dev)\n",
                  TraceOut.c_str());
+  }
+  if (!ProfileOutDir.empty()) {
+    std::filesystem::create_directories(ProfileOutDir);
+    size_t Written = 0;
+    auto save = [&](const RunResult &R, const std::string &Stem) {
+      const std::filesystem::path Path =
+          std::filesystem::path(ProfileOutDir) / (Stem + ".prof");
+      if (!writeProfileFile(Path.string(), R.CapturedProfile))
+        return false;
+      ++Written;
+      return true;
+    };
+    for (const std::string &W : Results.workloads()) {
+      if (!save(Results.baseline(W), W + "-cins"))
+        return 1;
+      for (PolicyKind Policy : Config.Policies)
+        for (unsigned D : Config.Depths)
+          if (!save(Results.cell(W, Policy, D),
+                    W + "-" + policyKindName(Policy) + "-d" +
+                        std::to_string(D)))
+            return 1;
+    }
+    std::fprintf(stderr, "%zu v2 profile(s) written to %s\n", Written,
+                 ProfileOutDir.c_str());
   }
   return 0;
 }

@@ -94,6 +94,11 @@ def typespec:
       tids: [2],
       req: {method: "string", level: "number", runs: "number",
             opsFused: "number", fusedBytes: "number"}
+    },
+    "profile-load": {
+      tids: [4],
+      req: {version: "number", traces: "number", decisions: "number",
+            hotMethods: "number", refusals: "number", dropped: "number"}
     }
   };
 
