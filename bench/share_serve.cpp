@@ -1,0 +1,214 @@
+//===- bench/share_serve.cpp - N-session serve vs. N solo sessions ----------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+// The shared code cache, measured: for every Table 1 workload this runs
+// one solo session (runExperiment with the serve session config) and a
+// 4-session serve of the same workload, then compares what the two
+// actually paid in optimizing-compile cycles. With the default 1-round
+// stagger, session 0 publishes every variant and sessions 1..3 hit the
+// shared index instead of compiling, so the serve's total compile bill
+// should sit far below 4x the solo bill.
+//
+// The hit rate is structurally below the stagger's naive (N-1)/N = 75%
+// expectation on most workloads: a shared hit charges link cycles where
+// the publisher paid a full compile, so a hitting session's clock pulls
+// ahead of its predecessor's, its samples land at different points, and
+// some of its later inline plans — and hence fingerprints — drift away
+// from what was published. That drift is the realistic price of the
+// protocol, so the gates are aggregate, with a loose per-workload floor.
+//
+// Gates (exit nonzero on failure):
+//   - every serve session computes the same program result as the solo
+//     run (sharing is an accounting optimization, never a semantic one);
+//   - summed over all workloads, the 4-session serves' shared-index hit
+//     rate exceeds 50% and the total compile cycles paid are below 60%
+//     of the 4x-solo bill (expectation ~30% at a 75% hit rate);
+//   - per workload, the serve pays measurably less than 4x solo
+//     (< 80%) — a workload where sharing saves nothing is a regression;
+//   - a mixed serve (two compress tenants, a scenario adversary, and
+//     db) exports byte-identical CSV and trace bytes at --jobs 1 and
+//     --jobs 4.
+//
+// Honors AOCI_SCALE like the figure sweeps. With --json FILE it also
+// writes per-workload compile-cycle bills in google-benchmark JSON
+// shape so tools/check_bench_regression.py can gate run-over-run drift
+// (BENCH_share.json in CI).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "harness/Serve.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace aoci;
+
+namespace {
+
+constexpr unsigned ServeSessions = 4;
+
+/// The serve session configuration, replicated for the solo reference
+/// run so its compile bill is directly comparable (same policy, depth,
+/// and OSR setting as ServeConfig's defaults).
+RunConfig soloConfig(const std::string &Workload, double Scale) {
+  const ServeConfig Serve;
+  RunConfig Config;
+  Config.WorkloadName = Workload;
+  Config.Params.Scale = Scale;
+  Config.Policy = Serve.Policy;
+  Config.MaxDepth = Serve.MaxDepth;
+  Config.Aos = Serve.Aos;
+  Config.Model = Serve.Model;
+  return Config;
+}
+
+ServeConfig serveConfig(const std::string &Workload, unsigned Count,
+                        double Scale) {
+  ServeConfig Config;
+  Config.Tenants.push_back({Workload, Count});
+  Config.Params.Scale = Scale;
+  return Config;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // Line-buffer stdout so CI's tee shows per-workload progress live.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::string JsonPath;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc) {
+      JsonPath = argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: share_serve [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  double Scale = 1.0;
+  if (const char *S = std::getenv("AOCI_SCALE"))
+    Scale = std::atof(S);
+
+  bool Pass = true;
+  std::string Json;
+  uint64_t TotalFourX = 0, TotalPaid = 0, TotalHits = 0, TotalPublishes = 0;
+
+  std::printf("%-14s %12s %12s %12s %9s %8s  %s\n", "workload", "solo cy",
+              "4x solo cy", "serve paid", "paid pct", "hit rate", "verdict");
+  for (const std::string &W : workloadNames()) {
+    const RunResult Solo = runExperiment(soloConfig(W, Scale));
+    const ServeResults Serve =
+        runServe(serveConfig(W, ServeSessions, Scale), /*Jobs=*/0);
+
+    bool ResultsMatch = Serve.Sessions.size() == ServeSessions;
+    for (const ServeSessionResult &S : Serve.Sessions)
+      ResultsMatch &= S.ProgramResult == Solo.ProgramResult;
+
+    const uint64_t SoloBill = Solo.OptCompileCycles;
+    const uint64_t FourX = SoloBill * ServeSessions;
+    const uint64_t Paid = Serve.totalCompileCyclesPaid();
+    const double PaidPct = FourX == 0 ? 0.0 : 100.0 * Paid / FourX;
+    const double HitRate = Serve.hitRate();
+    TotalFourX += FourX;
+    TotalPaid += Paid;
+    for (const ServeSessionResult &S : Serve.Sessions) {
+      TotalHits += S.ShareHits;
+      TotalPublishes += S.SharePublishes;
+    }
+
+    const bool ThisOk = ResultsMatch && (FourX == 0 || Paid < FourX * 8 / 10);
+    Pass &= ThisOk;
+    std::printf("%-14s %12llu %12llu %12llu %8.1f%% %7.1f%%  %s%s\n",
+                W.c_str(), static_cast<unsigned long long>(SoloBill),
+                static_cast<unsigned long long>(FourX),
+                static_cast<unsigned long long>(Paid), PaidPct,
+                100.0 * HitRate, ThisOk ? "ok" : "FAILED",
+                ResultsMatch ? "" : " (result mismatch)");
+
+    for (const auto &[LegName, Cycles] :
+         {std::pair<const char *, uint64_t>{"solo", SoloBill},
+          {"serve_paid", Paid},
+          {"serve_saved", Serve.totalCompileCyclesSaved()}}) {
+      if (!Json.empty())
+        Json += ",\n";
+      Json += formatString("    {\"name\": \"share_serve/%s/%s\", "
+                           "\"run_type\": \"iteration\", \"iterations\": 1, "
+                           "\"real_time\": %llu, \"cpu_time\": %llu, "
+                           "\"time_unit\": \"ns\"}",
+                           W.c_str(), LegName,
+                           static_cast<unsigned long long>(Cycles),
+                           static_cast<unsigned long long>(Cycles));
+    }
+  }
+
+  // Determinism leg: a mixed tenant set (including a scenario
+  // adversary) must export byte-identical CSV and trace at any job
+  // count. Runs at a capped scale — the verdict is byte equality, and
+  // the two extra serves add no signal at full scale.
+  {
+    const double MixScale = std::min(Scale, 0.3);
+    ServeConfig Mix;
+    Mix.Tenants = {{"compress", 2}, {"scn-phase-flip", 1}, {"db", 1}};
+    Mix.Params.Scale = MixScale;
+    Mix.Trace = true;
+    const ServeResults Serial = runServe(Mix, /*Jobs=*/1);
+    const ServeResults Parallel = runServe(Mix, /*Jobs=*/4);
+    std::ostringstream SerialTrace, ParallelTrace;
+    exportServeTrace(SerialTrace, Serial);
+    exportServeTrace(ParallelTrace, Parallel);
+    const bool CsvSame = exportServeCsv(Serial) == exportServeCsv(Parallel);
+    const bool TraceSame = SerialTrace.str() == ParallelTrace.str();
+    std::printf("\nmixed-tenant determinism (--jobs 1 vs 4): csv %s, "
+                "trace %s\n",
+                CsvSame ? "identical" : "DIVERGED",
+                TraceSame ? "identical" : "DIVERGED");
+    Pass &= CsvSame && TraceSame;
+  }
+
+  const double TotalHitRate =
+      TotalHits + TotalPublishes == 0
+          ? 0.0
+          : static_cast<double>(TotalHits) / (TotalHits + TotalPublishes);
+  const double TotalPaidPct =
+      TotalFourX == 0 ? 0.0 : 100.0 * TotalPaid / TotalFourX;
+  std::printf("aggregate: %.1f%% hit rate (gate: > 50%%), paid %.1f%% of "
+              "the 4x-solo bill (gate: < 60%%)\n",
+              100.0 * TotalHitRate, TotalPaidPct);
+  if (TotalHitRate <= 0.5) {
+    std::printf("share-serve gate FAILED: aggregate hit rate at or below "
+                "50%%\n");
+    Pass = false;
+  }
+  if (TotalFourX != 0 && TotalPaid >= TotalFourX * 6 / 10) {
+    std::printf("share-serve gate FAILED: serve paid 60%% or more of the "
+                "4x-solo compile bill\n");
+    Pass = false;
+  }
+  if (Pass)
+    std::printf("share-serve gate passed\n");
+  else
+    std::printf("share-serve gate FAILED\n");
+
+  if (!JsonPath.empty()) {
+    std::FILE *F = std::fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(F,
+                 "{\n  \"context\": {\"scale\": %g},\n  \"benchmarks\": [\n%s"
+                 "\n  ]\n}\n",
+                 Scale, Json.c_str());
+    std::fclose(F);
+  }
+  return Pass ? 0 : 1;
+}

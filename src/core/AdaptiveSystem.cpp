@@ -419,6 +419,25 @@ void AdaptiveSystem::processCompilationQueue() {
                                  Config.Inliner);
     std::unique_ptr<CodeVariant> Variant =
         Compiler.compile(Request.M, Request.Level, Oracle, &Db);
+    // Shared code cache (serve mode): the compiler is host-side cheap
+    // and simulated cycles are only charged below, so the session can
+    // fingerprint the finished plan first and then decide what to pay.
+    // A hit rewrites CompileCycles to the link cost before any ledger,
+    // charge, or trace event sees the variant — every downstream
+    // accounting reflects what this session actually spent, and the
+    // saving is carried separately in Stats.ShareCyclesSaved.
+    ShareOutcome Share;
+    if (ShareClient != nullptr) {
+      Share = ShareClient->onVariantCompiled(*Variant);
+      if (Share.Hit) {
+        Variant->SharedIn = true;
+        Variant->CompileCycles = Share.ChargeCycles;
+        ++Stats.ShareHits;
+        Stats.ShareCyclesSaved += Share.CyclesSaved;
+      } else {
+        ++Stats.SharePublishes;
+      }
+    }
     // The compilation thread's cycles are wall-clock time on a
     // uniprocessor and AOS overhead in the Figure 6 breakdown.
     VM.chargeAos(AosComponent::Compilation, Variant->CompileCycles);
@@ -434,7 +453,25 @@ void AdaptiveSystem::processCompilationQueue() {
     Event.Guards = Variant->Plan.NumGuards;
     Db.recordCompilation(Event);
 
-    VM.codeManager().install(std::move(Variant));
+    const CodeVariant *Installed =
+        VM.codeManager().install(std::move(Variant));
+    if (ShareClient != nullptr) {
+      ShareClient->onVariantInstalled(*Installed, Share);
+      if (Share.Hit) {
+        TraceSink *Trace = VM.traceSink();
+        if (Trace && Trace->wants(TraceEventKind::ShareHit)) {
+          TraceEvent &E =
+              Trace->append(TraceEventKind::ShareHit,
+                            traceTrack(AosComponent::Compilation),
+                            VM.cycles());
+          E.Method = Installed->M;
+          E.A = static_cast<int64_t>(Installed->Level);
+          E.B = static_cast<int64_t>(Installed->CodeBytes);
+          E.C = static_cast<int64_t>(Share.CyclesSaved);
+          E.D = static_cast<int64_t>(Share.PublishSeq);
+        }
+      }
+    }
     Ctrl.notifyInstalled(Request.M);
     ++Stats.OptCompilations;
   }

@@ -30,6 +30,7 @@
 #include "osr/OsrManager.h"
 #include "profile/Listeners.h"
 #include "profile/ProfileIo.h"
+#include "vm/CodeShare.h"
 #include "vm/VirtualMachine.h"
 
 #include <deque>
@@ -97,6 +98,15 @@ struct AosStats {
   uint64_t ControllerRequests = 0;
   uint64_t MissingEdgeRequests = 0;
   uint64_t OptCompilations = 0;
+  /// Shared-code-cache activity (all zero without a CodeShareClient, i.e.
+  /// outside serve mode). A hit charged ShareLink cycles instead of the
+  /// full compile; a publish paid in full and offered the variant to the
+  /// shared index (acceptance is decided at the serve barrier — a
+  /// same-round duplicate publish still counts here).
+  uint64_t ShareHits = 0;
+  uint64_t SharePublishes = 0;
+  /// Sum over hits of (full compile cycles - charged link cycles).
+  uint64_t ShareCyclesSaved = 0;
 };
 
 /// Counters returned by AdaptiveSystem::warmStart(): how much of a
@@ -150,6 +160,14 @@ public:
     VM.codeManager().setEvictPreference(
         [this](MethodId M) { return Ctrl.preferKeepInCache(M); });
   }
+
+  /// Connects this session to a process-wide shared code cache (serve
+  /// mode; null disconnects). Consulted once per optimizing compilation:
+  /// a hit installs the just-built variant but charges only the link
+  /// cost; a miss pays in full and publishes. Must be set before the VM
+  /// runs and never changed mid-run — the share outcome alters charged
+  /// cycles, so it is part of the simulated configuration.
+  void setShareClient(CodeShareClient *C) { ShareClient = C; }
 
   /// Pre-seeds the dynamic call graph with an offline training profile
   /// (see profile/ProfileIo.h) and codifies its rules immediately, which
@@ -213,6 +231,7 @@ private:
   AosDatabase Db;
   OptimizingCompiler Compiler;
   OsrManager OsrMgr;
+  CodeShareClient *ShareClient = nullptr;
   std::deque<CompilationRequest> CompileQueue;
   AosStats Stats;
   /// Audit-only ledger: every trace ever handed to the DCG (listener

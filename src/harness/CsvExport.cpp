@@ -65,11 +65,12 @@ std::string aoci::exportMetricsCsv(const GridResults &Results) {
       "workload,policy,max_depth,kind,worker,queue_ns,host_ns,run_cycles,"
       "steady,warmup_cycles,steady_cycles,fused_runs,fused_ops,"
       "fused_bytes,warm_start,warm_applied,warm_dropped,"
-      "opt_compile_cycles\n";
+      "opt_compile_cycles,share_hits,share_publishes,share_saved_cycles,"
+      "shared_bytes,private_bytes\n";
   for (const RunMetrics &M : Results.metrics())
     Out += formatString(
         "%s,%s,%u,%s,%u,%llu,%llu,%llu,%s,%llu,%llu,%llu,%llu,%llu,"
-        "%s,%llu,%llu,%llu\n",
+        "%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
         M.WorkloadName.c_str(),
         M.IsBaseline ? "cins" : policyKindName(M.Policy), M.MaxDepth,
         M.IsBaseline ? "baseline" : "cell", M.Worker,
@@ -85,6 +86,11 @@ std::string aoci::exportMetricsCsv(const GridResults &Results) {
         M.WarmStarted ? "yes" : "no",
         static_cast<unsigned long long>(M.WarmApplied),
         static_cast<unsigned long long>(M.WarmDropped),
-        static_cast<unsigned long long>(M.OptCompileCycles));
+        static_cast<unsigned long long>(M.OptCompileCycles),
+        static_cast<unsigned long long>(M.ShareHits),
+        static_cast<unsigned long long>(M.SharePublishes),
+        static_cast<unsigned long long>(M.ShareCyclesSaved),
+        static_cast<unsigned long long>(M.SharedBytes),
+        static_cast<unsigned long long>(M.PrivateBytes));
   return Out;
 }

@@ -74,6 +74,11 @@ RunResult aoci::runExperiment(const RunConfig &Config) {
   R.FusedRuns = VM.codeManager().fusedRunsInstalled();
   R.FusedOps = VM.codeManager().fusedOpsTotal();
   R.FusedBytes = VM.codeManager().fusedBytesTotal();
+  R.ShareHits = Aos.stats().ShareHits;
+  R.SharePublishes = Aos.stats().SharePublishes;
+  R.ShareCyclesSaved = Aos.stats().ShareCyclesSaved;
+  R.SharedCodeBytes = VM.codeManager().sharedInBytesLive();
+  R.PrivateCodeBytes = R.LiveCodeBytes - R.SharedCodeBytes;
   R.WarmStarted = Config.WarmStart != nullptr;
   R.WarmStartApplied = Warm.applied();
   R.WarmStartDropped = Warm.dropped();
@@ -279,6 +284,11 @@ RunMetrics makeMetrics(const PlannedRun &Run, const RunResult &Result,
   M.WarmApplied = Result.WarmStartApplied;
   M.WarmDropped = Result.WarmStartDropped;
   M.OptCompileCycles = Result.OptCompileCycles;
+  M.ShareHits = Result.ShareHits;
+  M.SharePublishes = Result.SharePublishes;
+  M.ShareCyclesSaved = Result.ShareCyclesSaved;
+  M.SharedBytes = Result.SharedCodeBytes;
+  M.PrivateBytes = Result.PrivateCodeBytes;
   // The steady/warmup split comes from the run's own trace stream; a
   // grid without tracing (or with a filter missing the needed kinds)
   // reports the verdict as unknown rather than guessing.

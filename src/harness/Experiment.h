@@ -126,6 +126,19 @@ struct RunResult {
   uint64_t FusedOps = 0;
   uint64_t FusedBytes = 0;
 
+  /// Shared-code-cache activity (all zero without a CodeShareClient,
+  /// i.e. outside serve mode — see src/share/ and harness/Serve.h).
+  /// SharedCodeBytes/PrivateCodeBytes split LiveCodeBytes by
+  /// CodeVariant::SharedIn. Kept out of the frozen grid CSV; the metrics
+  /// CSV carries them
+  /// (`share_hits,share_publishes,share_saved_cycles,shared_bytes,
+  /// private_bytes`).
+  uint64_t ShareHits = 0;
+  uint64_t SharePublishes = 0;
+  uint64_t ShareCyclesSaved = 0;
+  uint64_t SharedCodeBytes = 0;
+  uint64_t PrivateCodeBytes = 0;
+
   /// Warm-start provenance (all zero/false on a cold start, i.e. without
   /// RunConfig::WarmStart). Applied/Dropped aggregate every profile
   /// section (traces, decisions, hot methods, refusals); a large Dropped
@@ -222,6 +235,15 @@ struct RunMetrics {
   uint64_t WarmApplied = 0;
   uint64_t WarmDropped = 0;
   uint64_t OptCompileCycles = 0;
+  /// Shared-code-cache activity of the best trial (zero outside serve
+  /// mode; see RunResult). Appended to the metrics CSV as
+  /// `share_hits,share_publishes,share_saved_cycles,shared_bytes,
+  /// private_bytes`.
+  uint64_t ShareHits = 0;
+  uint64_t SharePublishes = 0;
+  uint64_t ShareCyclesSaved = 0;
+  uint64_t SharedBytes = 0;
+  uint64_t PrivateBytes = 0;
   /// Steady-state verdict for the best trial (see SteadyState.h). Known
   /// only when the run traced the kinds detection needs
   /// (steadyStateKindMask()); SteadyReached/Warmup/Steady are meaningful

@@ -219,6 +219,7 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
   uint64_t TotalOsrEntries = 0, TotalDeopts = 0;
   uint64_t TotalEvictions = 0;
   uint64_t TotalFusedRuns = 0, TotalFusedBytes = 0;
+  uint64_t TotalShareHits = 0, TotalSharePublishes = 0, TotalShareSaved = 0;
   uint64_t WarmRuns = 0, TotalWarmApplied = 0, TotalWarmDropped = 0;
   unsigned MaxWorker = 0;
   unsigned SteadyKnown = 0, SteadyReached = 0;
@@ -243,6 +244,9 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
     TotalEvictions += M.Evictions;
     TotalFusedRuns += M.FusedRuns;
     TotalFusedBytes += M.FusedBytes;
+    TotalShareHits += M.ShareHits;
+    TotalSharePublishes += M.SharePublishes;
+    TotalShareSaved += M.ShareCyclesSaved;
     WarmRuns += M.WarmStarted;
     TotalWarmApplied += M.WarmApplied;
     TotalWarmDropped += M.WarmDropped;
@@ -280,6 +284,13 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
         "handlers) across the sweep\n",
         static_cast<unsigned long long>(TotalFusedRuns),
         static_cast<unsigned long long>(TotalFusedBytes));
+  if (TotalShareHits + TotalSharePublishes != 0)
+    Out += formatString(
+        "  shared code cache: %llu hits / %llu publishes, %llu compile "
+        "cycles saved across the sweep\n",
+        static_cast<unsigned long long>(TotalShareHits),
+        static_cast<unsigned long long>(TotalSharePublishes),
+        static_cast<unsigned long long>(TotalShareSaved));
   if (WarmRuns != 0)
     Out += formatString(
         "  warm start: %llu run(s) seeded from a profile (%llu entries "

@@ -1,0 +1,382 @@
+//===- harness/Serve.cpp - Multi-session server mode -----------------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Serve.h"
+
+#include "support/Audit.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+#include "trace/TraceJson.h"
+#include "workload/scenario/ScenarioSpec.h"
+
+#include <thread>
+
+using namespace aoci;
+
+bool aoci::parseTenantList(const std::string &List,
+                           std::vector<ServeTenantSpec> &Out,
+                           std::string &Error) {
+  Out.clear();
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    const size_t Comma = List.find(',', Pos);
+    const std::string Item =
+        List.substr(Pos, Comma == std::string::npos ? Comma : Comma - Pos);
+    Pos = Comma == std::string::npos ? List.size() + 1 : Comma + 1;
+    if (Item.empty()) {
+      if (List.empty())
+        break; // fall through to the empty-list diagnostic
+      Error = "empty tenant item (stray comma?) in '" + List + "'";
+      return false;
+    }
+    ServeTenantSpec Spec;
+    const size_t Colon = Item.find(':');
+    Spec.Name = Item.substr(0, Colon);
+    if (Colon != std::string::npos) {
+      const std::string Count = Item.substr(Colon + 1);
+      bool Digits = !Count.empty();
+      for (char C : Count)
+        Digits &= C >= '0' && C <= '9';
+      // The cap keeps a typo'd count from silently scheduling thousands
+      // of sessions; raise it here if a real mix ever needs more.
+      if (!Digits || Count.size() > 3) {
+        Error = "tenant '" + Item + "': count must be 1..999";
+        return false;
+      }
+      Spec.Count = static_cast<unsigned>(std::stoul(Count));
+      if (Spec.Count == 0) {
+        Error = "tenant '" + Item + "': count must be at least 1";
+        return false;
+      }
+    }
+    bool Known = findBuiltinScenario(Spec.Name) != nullptr;
+    for (const std::string &W : workloadNames())
+      Known |= W == Spec.Name;
+    if (!Known) {
+      Error = "unknown tenant workload '" + Spec.Name + "'";
+      return false;
+    }
+    Out.push_back(std::move(Spec));
+  }
+  if (Out.empty()) {
+    Error = "empty tenant list";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// One live session of the serve schedule. Heap-allocated so Workload's
+/// Program (which the VM holds by reference) never moves.
+struct LiveSession {
+  unsigned Id = 0;
+  std::string TenantName;
+  bool IsScenario = false;
+  unsigned StartRound = 0;
+  Workload W;
+  TraceSink Trace;
+  std::unique_ptr<VirtualMachine> VM;
+  std::unique_ptr<ContextPolicy> Policy;
+  std::unique_ptr<AdaptiveSystem> Aos;
+  std::unique_ptr<ShareSession> Bridge;
+  WarmStartStats Warm;
+  /// Absolute clock bound of the next slice (advances by SliceCycles per
+  /// round; a session whose clock overshot a slice — one long compile —
+  /// simply idles until the bound catches up, deterministically).
+  uint64_t NextLimit = 0;
+  uint64_t RoundsRun = 0;
+  bool Started = false;
+  bool Done = false;
+
+  bool finished() const {
+    for (const auto &T : VM->threads())
+      if (!T->Finished)
+        return false;
+    return true;
+  }
+};
+
+} // namespace
+
+ServeResults
+aoci::runServe(const ServeConfig &Config, unsigned Jobs,
+               const std::function<void(const std::string &)> &Progress) {
+  if (Jobs == 0)
+    Jobs = std::thread::hardware_concurrency();
+  if (Jobs == 0)
+    Jobs = 1;
+
+  SharedCodeCache Cache(ShareCacheConfig{Config.ShareCapacityBytes});
+
+  // Build every session on the driver thread, in session-id order —
+  // construction (programs, baseline state, warm start) is simulated
+  // work that must not depend on the pool.
+  std::vector<std::unique_ptr<LiveSession>> Sessions;
+  for (const ServeTenantSpec &T : Config.Tenants) {
+    for (unsigned I = 0; I != T.Count; ++I) {
+      auto S = std::make_unique<LiveSession>();
+      S->Id = static_cast<unsigned>(Sessions.size());
+      S->TenantName = T.Name;
+      S->IsScenario = findBuiltinScenario(T.Name) != nullptr;
+      S->StartRound = S->Id * Config.StaggerRounds;
+      S->W = makeWorkload(T.Name, Config.Params);
+      S->VM = std::make_unique<VirtualMachine>(S->W.Prog, Config.Model);
+      if (Config.Trace) {
+        S->Trace.enable(Config.TraceKindMask);
+        S->VM->setTraceSink(&S->Trace);
+      }
+      S->Policy = makePolicy(Config.Policy, Config.MaxDepth);
+      S->Aos =
+          std::make_unique<AdaptiveSystem>(*S->VM, *S->Policy, Config.Aos);
+      if (Config.ShareEnabled) {
+        S->Bridge = std::make_unique<ShareSession>(Cache, S->Id, *S->VM);
+        S->Aos->setShareClient(S->Bridge.get());
+      }
+      S->Aos->attach();
+      if (Config.WarmStart)
+        S->Warm = S->Aos->warmStart(*Config.WarmStart);
+      for (MethodId Entry : S->W.Entries)
+        S->VM->addThread(Entry);
+      Sessions.push_back(std::move(S));
+    }
+  }
+
+  uint64_t Round = 0;
+  {
+    ThreadPool Pool(Jobs);
+    while (true) {
+      bool AnyAlive = false;
+      std::vector<LiveSession *> Active;
+      for (auto &S : Sessions) {
+        if (S->Done)
+          continue;
+        AnyAlive = true;
+        if (!S->Started && Round >= S->StartRound)
+          S->Started = true;
+        if (S->Started)
+          Active.push_back(S.get());
+      }
+      if (!AnyAlive)
+        break;
+
+      // One slice of every active session, in parallel. The shared index
+      // is frozen for the duration: sessions only read it (lookups) and
+      // append to their own pending logs, so the interleaving cannot
+      // influence any simulated outcome.
+      if (!Active.empty()) {
+        std::vector<std::future<void>> Futures;
+        Futures.reserve(Active.size());
+        for (LiveSession *S : Active) {
+          S->NextLimit += Config.SliceCycles;
+          Futures.push_back(Pool.submit([S] { S->VM->run(S->NextLimit); }));
+        }
+        // get() rather than wait(): a session that threw re-throws here.
+        for (std::future<void> &F : Futures)
+          F.get();
+      }
+
+      // Single-threaded barrier, in session-id order: merge share
+      // activity, retire finished sessions, enforce the shared bound.
+      for (LiveSession *S : Active) {
+        ++S->RoundsRun;
+        if (S->Bridge)
+          S->Bridge->commitRound(Round);
+      }
+      for (LiveSession *S : Active) {
+        if (!S->finished())
+          continue;
+        if (S->Bridge)
+          S->Bridge->sessionEnded();
+        S->Done = true;
+      }
+      if (Config.ShareEnabled) {
+        for (size_t Victim : Cache.enforceCapacity(Round))
+          for (auto &S : Sessions)
+            if (S->Bridge && S->Started && !S->Done)
+              S->Bridge->applySharedEviction(Victim);
+        if (audit::enabled()) {
+          size_t Registered = 0;
+          for (auto &S : Sessions)
+            if (S->Bridge) {
+              S->Bridge->auditRegistry("serve-barrier");
+              Registered += S->Bridge->numRegistered();
+            }
+          Cache.audit("serve-barrier");
+          size_t Installed = 0;
+          for (size_t I = 0; I != Cache.numEntries(); ++I)
+            Installed += Cache.entry(I).Installers.size();
+          audit::check(Registered == Installed, "serve-barrier",
+                       "session registries and shared installer lists "
+                       "disagree: " +
+                           std::to_string(Registered) + " vs " +
+                           std::to_string(Installed));
+        }
+      }
+      if (Progress)
+        Progress(formatString(
+            "round %llu: %zu active, %llu shared entries "
+            "(%llu hits, %llu publishes, %llu evictions)",
+            static_cast<unsigned long long>(Round), Active.size(),
+            static_cast<unsigned long long>(Cache.numLiveEntries()),
+            static_cast<unsigned long long>(Cache.totalHits()),
+            static_cast<unsigned long long>(Cache.publishesAccepted()),
+            static_cast<unsigned long long>(Cache.sharedEvictions())));
+      ++Round;
+    }
+  }
+
+  ServeResults R;
+  R.Rounds = Round;
+  for (auto &S : Sessions) {
+    ServeSessionResult Row;
+    Row.SessionId = S->Id;
+    Row.TenantName = S->TenantName;
+    Row.IsScenario = S->IsScenario;
+    Row.StartRound = S->StartRound;
+    Row.RoundsRun = S->RoundsRun;
+    Row.WallCycles = S->VM->cycles();
+    Row.ProgramResult = S->VM->threads().front()->Result.asInt();
+    Row.OptCompilations = S->Aos->stats().OptCompilations;
+    Row.OptCompileCycles = S->VM->codeManager().optCompileCycles();
+    Row.ShareHits = S->Aos->stats().ShareHits;
+    Row.SharePublishes = S->Aos->stats().SharePublishes;
+    Row.ShareCyclesSaved = S->Aos->stats().ShareCyclesSaved;
+    if (S->Bridge) {
+      Row.SharedEvictionsApplied = S->Bridge->sharedEvictionsApplied();
+      Row.PinnedSharedEvicts = S->Bridge->pinnedSharedEvicts();
+    }
+    Row.SharedCodeBytes = S->VM->codeManager().sharedInBytesLive();
+    Row.PrivateCodeBytes =
+        S->VM->codeManager().liveCodeBytes() - Row.SharedCodeBytes;
+    Row.Evictions = S->VM->codeManager().numEvictions();
+    Row.Deopts = S->Aos->osrStats().Deopts;
+    Row.OsrEntries = S->Aos->osrStats().OsrEntries;
+    Row.WarmStartApplied = S->Warm.applied();
+    Row.WarmStartDropped = S->Warm.dropped();
+    R.Sessions.push_back(std::move(Row));
+    if (Config.Trace) {
+      R.Traces.push_back(std::move(S->Trace));
+      R.TraceNames.push_back("s" + std::to_string(S->Id) + "." +
+                             S->TenantName);
+    }
+  }
+  R.SharePublishesAccepted = Cache.publishesAccepted();
+  R.ShareDuplicatePublishes = Cache.duplicatePublishes();
+  R.ShareTotalHits = Cache.totalHits();
+  R.ShareEvictions = Cache.sharedEvictions();
+  R.ShareLiveBytes = Cache.liveBytes();
+  R.SharePeakBytes = Cache.peakBytes();
+  R.ShareLiveEntries = Cache.numLiveEntries();
+  return R;
+}
+
+uint64_t ServeResults::totalCompileCyclesPaid() const {
+  uint64_t Sum = 0;
+  for (const ServeSessionResult &S : Sessions)
+    Sum += S.OptCompileCycles;
+  return Sum;
+}
+
+uint64_t ServeResults::totalCompileCyclesSaved() const {
+  uint64_t Sum = 0;
+  for (const ServeSessionResult &S : Sessions)
+    Sum += S.ShareCyclesSaved;
+  return Sum;
+}
+
+double ServeResults::hitRate() const {
+  uint64_t Hits = 0, Lookups = 0;
+  for (const ServeSessionResult &S : Sessions) {
+    Hits += S.ShareHits;
+    Lookups += S.ShareHits + S.SharePublishes;
+  }
+  if (Lookups == 0)
+    return 0;
+  return static_cast<double>(Hits) / static_cast<double>(Lookups);
+}
+
+std::string aoci::exportServeCsv(const ServeResults &Results) {
+  std::string Out =
+      "session,tenant,kind,start_round,rounds,wall_cycles,result,"
+      "opt_compilations,opt_compile_cycles,share_hits,share_publishes,"
+      "share_saved_cycles,share_evicts_applied,share_evicts_pinned,"
+      "shared_bytes,private_bytes,evictions,deopts,osr_entries\n";
+  for (const ServeSessionResult &S : Results.Sessions)
+    Out += formatString(
+        "%u,%s,%s,%u,%llu,%llu,%lld,%u,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%llu,%llu,%llu,%llu,%llu\n",
+        S.SessionId, S.TenantName.c_str(),
+        S.IsScenario ? "scenario" : "workload", S.StartRound,
+        static_cast<unsigned long long>(S.RoundsRun),
+        static_cast<unsigned long long>(S.WallCycles),
+        static_cast<long long>(S.ProgramResult), S.OptCompilations,
+        static_cast<unsigned long long>(S.OptCompileCycles),
+        static_cast<unsigned long long>(S.ShareHits),
+        static_cast<unsigned long long>(S.SharePublishes),
+        static_cast<unsigned long long>(S.ShareCyclesSaved),
+        static_cast<unsigned long long>(S.SharedEvictionsApplied),
+        static_cast<unsigned long long>(S.PinnedSharedEvicts),
+        static_cast<unsigned long long>(S.SharedCodeBytes),
+        static_cast<unsigned long long>(S.PrivateCodeBytes),
+        static_cast<unsigned long long>(S.Evictions),
+        static_cast<unsigned long long>(S.Deopts),
+        static_cast<unsigned long long>(S.OsrEntries));
+  return Out;
+}
+
+std::string aoci::reportServe(const ServeResults &Results) {
+  std::string Out = formatString(
+      "%-4s %-22s %6s %10s %8s %6s %6s %10s %10s %8s\n", "id", "tenant",
+      "rounds", "wall Mcy", "opt cmp", "hits", "pubs", "saved cy",
+      "shared B", "priv B");
+  for (const ServeSessionResult &S : Results.Sessions)
+    Out += formatString(
+        "%-4u %-22s %6llu %10.2f %8u %6llu %6llu %10llu %10llu %8llu\n",
+        S.SessionId, S.TenantName.c_str(),
+        static_cast<unsigned long long>(S.RoundsRun),
+        static_cast<double>(S.WallCycles) / 1e6, S.OptCompilations,
+        static_cast<unsigned long long>(S.ShareHits),
+        static_cast<unsigned long long>(S.SharePublishes),
+        static_cast<unsigned long long>(S.ShareCyclesSaved),
+        static_cast<unsigned long long>(S.SharedCodeBytes),
+        static_cast<unsigned long long>(S.PrivateCodeBytes));
+  Out += formatString(
+      "shared cache   %llu live entries, %llu live / %llu peak bytes\n",
+      static_cast<unsigned long long>(Results.ShareLiveEntries),
+      static_cast<unsigned long long>(Results.ShareLiveBytes),
+      static_cast<unsigned long long>(Results.SharePeakBytes));
+  Out += formatString(
+      "               %llu publishes (+%llu same-round duplicates), "
+      "%llu hits (%.1f%% hit rate), %llu evictions\n",
+      static_cast<unsigned long long>(Results.SharePublishesAccepted),
+      static_cast<unsigned long long>(Results.ShareDuplicatePublishes),
+      static_cast<unsigned long long>(Results.ShareTotalHits),
+      Results.hitRate() * 100.0,
+      static_cast<unsigned long long>(Results.ShareEvictions));
+  const uint64_t Paid = Results.totalCompileCyclesPaid();
+  const uint64_t Saved = Results.totalCompileCyclesSaved();
+  Out += formatString(
+      "compile cycles %llu paid, %llu saved by sharing (%.1f%% of the "
+      "%llu a shareless serve would pay)\n",
+      static_cast<unsigned long long>(Paid),
+      static_cast<unsigned long long>(Saved),
+      Paid + Saved == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(Saved) /
+                static_cast<double>(Paid + Saved),
+      static_cast<unsigned long long>(Paid + Saved));
+  return Out;
+}
+
+void aoci::exportServeTrace(std::ostream &OS, const ServeResults &Results) {
+  std::vector<TraceProcess> Procs;
+  Procs.reserve(Results.Traces.size());
+  for (size_t I = 0; I != Results.Traces.size(); ++I)
+    Procs.push_back(TraceProcess{&Results.Traces[I], Results.TraceNames[I]});
+  writeChromeTrace(OS, Procs);
+}

@@ -1,0 +1,173 @@
+//===- harness/Serve.h - Multi-session server mode --------------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `aoci serve`: many concurrent VM sessions ("tenants" — workload
+/// instances or scenario adversaries) against one process-wide
+/// SharedCodeCache (src/share/). Sessions advance in fixed-size slices
+/// of simulated cycles; a round runs one slice of every active session
+/// (in parallel up to --jobs), then a single-threaded barrier merges
+/// each session's share activity into the shared index in session-id
+/// order and enforces the shared capacity. The schedule — session ids,
+/// start rounds, slice size — fully determines every simulated outcome,
+/// so the serve CSV and trace bytes are identical across --jobs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_HARNESS_SERVE_H
+#define AOCI_HARNESS_SERVE_H
+
+#include "core/AdaptiveSystem.h"
+#include "share/SharedCodeCache.h"
+#include "trace/TraceSink.h"
+#include "workload/Workload.h"
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace aoci {
+
+/// One entry of a `--tenants` list: \p Count sessions of workload (or
+/// built-in scenario) \p Name.
+struct ServeTenantSpec {
+  std::string Name;
+  unsigned Count = 1;
+
+  bool operator==(const ServeTenantSpec &) const = default;
+};
+
+/// Parses a `--tenants` list: comma-separated `name` or `name:count`
+/// items, where a name is a Table 1 workload or a built-in scenario
+/// ("scn-..."). On failure returns false and describes the offending
+/// item in \p Error. An empty list is an error (serve needs tenants).
+bool parseTenantList(const std::string &List,
+                     std::vector<ServeTenantSpec> &Out, std::string &Error);
+
+/// Configuration of one serve invocation.
+struct ServeConfig {
+  /// The tenant mix, expanded in order into sessions 0..N-1.
+  std::vector<ServeTenantSpec> Tenants;
+  WorkloadParams Params;
+  PolicyKind Policy = PolicyKind::Fixed;
+  unsigned MaxDepth = 4;
+  /// Per-session adaptive-system tunables. The constructor enables OSR:
+  /// a shared eviction must be able to deoptimize live activations in
+  /// every installing session, and without an OSR driver the private
+  /// cache pins any live variant (VirtualMachine::prepareEviction).
+  AosSystemConfig Aos;
+  CostModel Model;
+  /// Simulated cycles each session advances per round.
+  uint64_t SliceCycles = 2000000;
+  /// Rounds between consecutive session starts (session i starts at
+  /// round i * StaggerRounds). The default 1 lets each session's first
+  /// compilations find what its predecessors already published; 0
+  /// starts everyone together (maximizing same-round duplicates).
+  unsigned StaggerRounds = 1;
+  /// Master switch for the shared code cache (`--share-cache off`).
+  /// Off, every session runs exactly as a solo runExperiment() would.
+  bool ShareEnabled = true;
+  /// Shared-index capacity in code bytes (0 = unbounded). Eviction
+  /// tombstones the entry and force-evicts every installing session.
+  uint64_t ShareCapacityBytes = 0;
+  /// Record every session's event stream (see ServeResults::Traces).
+  bool Trace = false;
+  uint32_t TraceKindMask = TraceAllKinds;
+  /// Warm-start every session from this profile (see RunConfig).
+  std::shared_ptr<const ProfileData> WarmStart;
+
+  ServeConfig() { Aos.Osr.Enabled = true; }
+};
+
+/// What one session did, harvested after its last round.
+struct ServeSessionResult {
+  unsigned SessionId = 0;
+  std::string TenantName;
+  bool IsScenario = false;
+  unsigned StartRound = 0;
+  uint64_t RoundsRun = 0;
+  uint64_t WallCycles = 0;
+  int64_t ProgramResult = 0;
+  unsigned OptCompilations = 0;
+  uint64_t OptCompileCycles = 0;
+  /// Share activity (AosStats and the session bridge; all zero with
+  /// sharing off).
+  uint64_t ShareHits = 0;
+  uint64_t SharePublishes = 0;
+  uint64_t ShareCyclesSaved = 0;
+  uint64_t SharedEvictionsApplied = 0;
+  uint64_t PinnedSharedEvicts = 0;
+  /// Live code bytes at session end, split by CodeVariant::SharedIn.
+  uint64_t SharedCodeBytes = 0;
+  uint64_t PrivateCodeBytes = 0;
+  /// Private bounded-cache and OSR activity, for the serve report.
+  uint64_t Evictions = 0;
+  uint64_t Deopts = 0;
+  uint64_t OsrEntries = 0;
+  uint64_t WarmStartApplied = 0;
+  uint64_t WarmStartDropped = 0;
+};
+
+/// Results of one serve invocation: per-session rows plus the shared
+/// index's aggregate ledger.
+struct ServeResults {
+  std::vector<ServeSessionResult> Sessions;
+  /// Rounds the whole serve ran (last active round + 1).
+  uint64_t Rounds = 0;
+  /// Shared-cache aggregates (zero with sharing off).
+  uint64_t SharePublishesAccepted = 0;
+  uint64_t ShareDuplicatePublishes = 0;
+  uint64_t ShareTotalHits = 0;
+  uint64_t ShareEvictions = 0;
+  uint64_t ShareLiveBytes = 0;
+  uint64_t SharePeakBytes = 0;
+  uint64_t ShareLiveEntries = 0;
+  /// Per-session event streams in session-id order ("s<id>.<tenant>"),
+  /// empty unless ServeConfig::Trace.
+  std::vector<TraceSink> Traces;
+  std::vector<std::string> TraceNames;
+
+  /// Sum over sessions of optimizing-compile cycles actually charged.
+  uint64_t totalCompileCyclesPaid() const;
+  /// Sum over sessions of cycles shared hits avoided charging.
+  uint64_t totalCompileCyclesSaved() const;
+  /// Shared-cache hit rate over all optimizing compilations:
+  /// hits / (hits + publish attempts). 0 when nothing compiled.
+  double hitRate() const;
+};
+
+/// Runs the serve schedule on \p Jobs pool workers (0 selects the
+/// hardware concurrency; 1 is fully serial). Simulated results — the
+/// serve CSV, every session's trace stream, every counter above — are
+/// byte-identical for every \p Jobs value; only host-side timing of the
+/// optional \p Progress lines differs. Progress may be invoked from the
+/// driver thread only (between rounds).
+ServeResults
+runServe(const ServeConfig &Config, unsigned Jobs,
+         const std::function<void(const std::string &)> &Progress = nullptr);
+
+/// Renders per-session results as CSV (deterministic: no host times).
+/// Columns:
+///   session,tenant,kind,start_round,rounds,wall_cycles,result,
+///   opt_compilations,opt_compile_cycles,share_hits,share_publishes,
+///   share_saved_cycles,share_evicts_applied,share_evicts_pinned,
+///   shared_bytes,private_bytes,evictions,deopts,osr_entries
+std::string exportServeCsv(const ServeResults &Results);
+
+/// Human-readable serve report: the per-session table plus the shared
+/// index's ledger and the compile-cycles-saved summary.
+std::string reportServe(const ServeResults &Results);
+
+/// Writes every session's stream as one merged Chrome trace-event JSON
+/// object (one process per session, in session-id order).
+void exportServeTrace(std::ostream &OS, const ServeResults &Results);
+
+} // namespace aoci
+
+#endif // AOCI_HARNESS_SERVE_H

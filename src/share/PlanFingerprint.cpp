@@ -1,0 +1,51 @@
+//===- share/PlanFingerprint.cpp - Canonical variant identity --------------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "share/PlanFingerprint.h"
+
+#include "bytecode/Program.h"
+#include "vm/CodeVariant.h"
+
+using namespace aoci;
+
+namespace {
+
+/// One inline node as "(s<site>:<case>,<case>;...)" where a case is
+/// "<callee>:<g|p>:u<units>" followed by its nested node, if any.
+/// 'g' = guarded, 'p' = proved (unguarded).
+void appendNode(const Program &P, const InlineNode &Node, std::string &Out) {
+  Out += '(';
+  for (const InlineNode::SiteDecision &Decision : Node.Sites) {
+    Out += 's';
+    Out += std::to_string(Decision.Site);
+    Out += ':';
+    for (const InlineCase &Case : Decision.Cases) {
+      Out += P.qualifiedName(Case.Callee);
+      Out += Case.Guarded ? ":g:u" : ":p:u";
+      Out += std::to_string(Case.BodyUnits);
+      if (Case.Body)
+        appendNode(P, *Case.Body, Out);
+      Out += ',';
+    }
+    Out += ';';
+  }
+  Out += ')';
+}
+
+} // namespace
+
+std::string aoci::planFingerprint(const Program &P, const CodeVariant &V) {
+  std::string Out = P.qualifiedName(V.M);
+  Out += '|';
+  Out += optLevelName(V.Level);
+  Out += "|u";
+  Out += std::to_string(V.MachineUnits);
+  Out += "|b";
+  Out += std::to_string(P.method(V.M).bytecodeCount());
+  appendNode(P, V.Plan.Root, Out);
+  return Out;
+}

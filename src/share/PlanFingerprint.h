@@ -1,0 +1,43 @@
+//===- share/PlanFingerprint.h - Canonical variant identity -----*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical fingerprint that keys the process-wide shared code
+/// cache: a name-keyed serialization of everything that determines what
+/// a compiled variant *is* — root method, opt level, machine-size units,
+/// root bytecode count, and the full inline-plan tree (site offsets,
+/// qualified callee names, guardedness, per-body units). Two sessions —
+/// even over different Program instances — produce the same fingerprint
+/// exactly when the compiler produced structurally identical code, which
+/// is what makes cross-session reuse sound: a hit installs the session's
+/// own locally built (byte-identical) variant and only the cycle
+/// accounting is shared. Method *names* rather than MethodIds, following
+/// the PR 8 profile-resolution discipline, so fingerprints are stable
+/// across program-construction order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_SHARE_PLANFINGERPRINT_H
+#define AOCI_SHARE_PLANFINGERPRINT_H
+
+#include <string>
+
+namespace aoci {
+
+class Program;
+struct CodeVariant;
+
+/// Canonical fingerprint of \p V against \p P. Deterministic: plan sites
+/// are serialized in their stored (site-sorted) order and cases in
+/// decision order, both pure functions of the compiled plan. The full
+/// string (not a hash) is the shared-cache key, so distinct plans can
+/// never alias.
+std::string planFingerprint(const Program &P, const CodeVariant &V);
+
+} // namespace aoci
+
+#endif // AOCI_SHARE_PLANFINGERPRINT_H

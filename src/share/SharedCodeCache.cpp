@@ -1,0 +1,311 @@
+//===- share/SharedCodeCache.cpp - Process-wide shared code cache ----------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "share/SharedCodeCache.h"
+
+#include "share/PlanFingerprint.h"
+#include "support/Audit.h"
+#include "trace/TraceSink.h"
+#include "vm/CodeManager.h"
+#include "vm/CodeVariant.h"
+#include "vm/Overhead.h"
+#include "vm/VirtualMachine.h"
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+using namespace aoci;
+
+//===----------------------------------------------------------------------===//
+// SharedCodeCache
+//===----------------------------------------------------------------------===//
+
+const ShareEntry *SharedCodeCache::lookup(const std::string &Key,
+                                          size_t *Idx) const {
+  auto It = LiveByKey.find(Key);
+  if (It == LiveByKey.end())
+    return nullptr;
+  if (Idx)
+    *Idx = It->second;
+  return &Entries[It->second];
+}
+
+size_t SharedCodeCache::publish(const std::string &Key, const CodeVariant &V,
+                                unsigned Session, uint64_t Round) {
+  if (LiveByKey.count(Key) != 0) {
+    // Two sessions compiled the same plan in the same round; the one
+    // earlier in the schedule already published it. The later copy stays
+    // a private variant.
+    ++DuplicatePublishes;
+    return std::numeric_limits<size_t>::max();
+  }
+  Entries.push_back(ShareEntry());
+  ShareEntry &E = Entries.back();
+  E.Key = Key;
+  // The fingerprint leads with the qualified method name (see
+  // PlanFingerprint.cpp) — recover it rather than widening the API.
+  E.MethodName = Key.substr(0, Key.find('|'));
+  E.Level = V.Level;
+  E.MachineUnits = V.MachineUnits;
+  E.CodeBytes = V.CodeBytes;
+  // Misses are never rewritten, so at barrier time this is still the
+  // full compile cost the publisher paid.
+  E.FullCompileCycles = V.CompileCycles;
+  E.PublishSeq = NextPublishSeq++;
+  E.PublishedRound = Round;
+  E.LastHitRound = Round;
+  if (!V.Evicted)
+    E.Installers.push_back({Session, &V});
+  const size_t Idx = Entries.size() - 1;
+  LiveByKey.emplace(Key, Idx);
+  LiveBytes += E.CodeBytes;
+  if (LiveBytes > PeakBytes)
+    PeakBytes = LiveBytes;
+  ++PublishesAccepted;
+  return Idx;
+}
+
+void SharedCodeCache::recordHit(size_t Idx, const CodeVariant &V,
+                                unsigned Session, uint64_t Round) {
+  ShareEntry &E = Entries[Idx];
+  audit::check(!E.Tombstoned, "share-hit",
+               "hit committed on tombstoned entry " + E.Key);
+  ++E.Hits;
+  ++TotalHits;
+  E.LastHitRound = Round;
+  // A variant can be compiled early in a round and reclaimed by its own
+  // session's bounded cache before the barrier; the hit still counts
+  // for recency but there is no live mapping to register.
+  if (!V.Evicted)
+    E.Installers.push_back({Session, &V});
+}
+
+void SharedCodeCache::deregisterInstaller(size_t Idx, unsigned Session,
+                                          const CodeVariant *V) {
+  auto &Installers = Entries[Idx].Installers;
+  for (auto It = Installers.begin(); It != Installers.end(); ++It) {
+    if (It->Session == Session && It->V == V) {
+      Installers.erase(It);
+      return;
+    }
+  }
+}
+
+std::vector<size_t> SharedCodeCache::enforceCapacity(uint64_t Round) {
+  (void)Round;
+  std::vector<size_t> Tombstoned;
+  if (!Config.enabled())
+    return Tombstoned;
+  while (LiveBytes > Config.CapacityBytes) {
+    // Deterministic victim order: coldest committed round first,
+    // earliest publish breaking ties. Pure simulated state, so the
+    // choice is identical across --jobs.
+    const ShareEntry *Victim = nullptr;
+    size_t VictimIdx = 0;
+    for (const auto &KV : LiveByKey) {
+      const ShareEntry &E = Entries[KV.second];
+      if (!Victim || E.LastHitRound < Victim->LastHitRound ||
+          (E.LastHitRound == Victim->LastHitRound &&
+           E.PublishSeq < Victim->PublishSeq)) {
+        Victim = &E;
+        VictimIdx = KV.second;
+      }
+    }
+    if (!Victim)
+      break;
+    ShareEntry &E = Entries[VictimIdx];
+    E.Tombstoned = true;
+    LiveByKey.erase(E.Key);
+    LiveBytes -= E.CodeBytes;
+    ++SharedEvictions;
+    Tombstoned.push_back(VictimIdx);
+  }
+  return Tombstoned;
+}
+
+void SharedCodeCache::audit(const char *Where) const {
+  if (!audit::enabled())
+    return;
+  uint64_t Bytes = 0;
+  uint64_t Live = 0;
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    const ShareEntry &E = Entries[I];
+    if (!E.Tombstoned) {
+      Bytes += E.CodeBytes;
+      ++Live;
+      auto It = LiveByKey.find(E.Key);
+      audit::check(It != LiveByKey.end() && It->second == I, Where,
+                   "live shared entry '" + E.Key + "' missing from key map");
+    }
+    for (const ShareEntry::Installer &In : E.Installers) {
+      audit::check(In.V != nullptr, Where,
+                   "null installer on shared entry '" + E.Key + "'");
+      // Locally evicted registrations are swept at every barrier before
+      // this audit runs, so anything still registered — including pinned
+      // survivors on tombstoned entries — must be live in its session.
+      audit::check(!In.V->Evicted, Where,
+                   "installer of shared entry '" + E.Key +
+                       "' is locally evicted but still registered");
+      audit::check(In.V->SharedIn, Where,
+                   "installer of shared entry '" + E.Key +
+                       "' is not tagged SharedIn");
+      audit::check(In.V->CodeBytes == E.CodeBytes, Where,
+                   "installer of shared entry '" + E.Key +
+                       "' disagrees on code bytes");
+    }
+  }
+  audit::check(Bytes == LiveBytes, Where,
+               "shared byte ledger drifted: ledger " +
+                   std::to_string(LiveBytes) + " vs live sum " +
+                   std::to_string(Bytes));
+  audit::check(Live == LiveByKey.size(), Where,
+               "shared key map size disagrees with live entry count");
+  audit::check(PeakBytes >= LiveBytes, Where,
+               "shared peak bytes below live bytes");
+}
+
+//===----------------------------------------------------------------------===//
+// ShareSession
+//===----------------------------------------------------------------------===//
+
+ShareOutcome ShareSession::onVariantCompiled(const CodeVariant &V) {
+  PendingKey = planFingerprint(VM.program(), V);
+  ShareOutcome O;
+  size_t Idx = 0;
+  if (const ShareEntry *E = Cache.lookup(PendingKey, &Idx)) {
+    O.Hit = true;
+    O.ChargeCycles = VM.costModel().shareLinkCycles(V.MachineUnits);
+    // V.CompileCycles is the full cost at this point (hits are only
+    // rewritten by the caller after this returns).
+    O.CyclesSaved =
+        V.CompileCycles > O.ChargeCycles ? V.CompileCycles - O.ChargeCycles : 0;
+    O.PublishSeq = E->PublishSeq;
+    PendingHitIdx = Idx;
+  }
+  return O;
+}
+
+void ShareSession::onVariantInstalled(const CodeVariant &Installed,
+                                      const ShareOutcome &O) {
+  if (O.Hit)
+    PendingHits.push_back({PendingHitIdx, &Installed});
+  else
+    PendingPublishes.push_back({PendingKey, &Installed});
+}
+
+void ShareSession::commitRound(uint64_t Round) {
+  // 1. Sweep mappings whose variant this session's own bounded cache
+  //    reclaimed since the last barrier.
+  for (size_t I = 0; I != Registry.size();) {
+    if (Registry[I].V->Evicted) {
+      Cache.deregisterInstaller(Registry[I].EntryIdx, SessionId,
+                                Registry[I].V);
+      Registry.erase(Registry.begin() + static_cast<ptrdiff_t>(I));
+    } else {
+      ++I;
+    }
+  }
+  // 2. Commit this round's hits. recordHit registers live variants only;
+  //    mirror its condition so the registry stays symmetric.
+  for (const Mapping &M : PendingHits) {
+    Cache.recordHit(M.EntryIdx, *M.V, SessionId, Round);
+    if (!M.V->Evicted)
+      Registry.push_back(M);
+  }
+  PendingHits.clear();
+  // 3. Merge this round's publishes; first committer (schedule order)
+  //    wins. Duplicates stay private variants: not registered, not
+  //    tagged SharedIn.
+  for (const PendingPublish &P : PendingPublishes) {
+    const size_t Idx = Cache.publish(P.Key, *P.V, SessionId, Round);
+    if (Idx == std::numeric_limits<size_t>::max())
+      continue;
+    P.V->SharedIn = true;
+    if (!P.V->Evicted)
+      Registry.push_back({Idx, P.V});
+    // The publish conceptually happens the moment the entry becomes
+    // visible to other tenants — at this barrier, at the publishing
+    // session's current clock. Uncharged, like all trace emission.
+    TraceSink *Trace = VM.traceSink();
+    if (Trace && Trace->wants(TraceEventKind::SharePublish)) {
+      TraceEvent &E =
+          Trace->append(TraceEventKind::SharePublish,
+                        traceTrack(AosComponent::Compilation), VM.cycles());
+      E.Method = P.V->M;
+      E.A = static_cast<int64_t>(P.V->Level);
+      E.B = static_cast<int64_t>(P.V->CodeBytes);
+      E.C = static_cast<int64_t>(Cache.entry(Idx).PublishSeq);
+      E.D = static_cast<int64_t>(Cache.numLiveEntries());
+    }
+  }
+  PendingPublishes.clear();
+}
+
+void ShareSession::sessionEnded() {
+  for (const Mapping &M : Registry)
+    Cache.deregisterInstaller(M.EntryIdx, SessionId, M.V);
+  Registry.clear();
+}
+
+bool ShareSession::applySharedEviction(size_t Idx) {
+  auto It = Registry.begin();
+  for (; It != Registry.end(); ++It)
+    if (It->EntryIdx == Idx)
+      break;
+  if (It == Registry.end())
+    return true;
+  const CodeVariant *V = It->V;
+  const auto InstallersBefore =
+      static_cast<int64_t>(Cache.entry(Idx).Installers.size());
+  if (!VM.codeManager().evictNow(*V)) {
+    // Pinned (live non-OSR-able activation): the mapping stays
+    // registered on the tombstoned entry and is swept once the variant
+    // dies locally. The local CodeEvict event will record that death.
+    ++PinnedSharedEvicts;
+    return false;
+  }
+  TraceSink *Trace = VM.traceSink();
+  if (Trace && Trace->wants(TraceEventKind::ShareEvict)) {
+    TraceEvent &E =
+        Trace->append(TraceEventKind::ShareEvict,
+                      traceTrack(AosComponent::Compilation), VM.cycles());
+    E.Method = V->M;
+    E.A = static_cast<int64_t>(V->Level);
+    E.B = static_cast<int64_t>(V->CodeBytes);
+    E.C = static_cast<int64_t>(Cache.entry(Idx).PublishSeq);
+    E.D = InstallersBefore;
+  }
+  Cache.deregisterInstaller(Idx, SessionId, V);
+  Registry.erase(It);
+  ++SharedEvictionsApplied;
+  return true;
+}
+
+void ShareSession::auditRegistry(const char *Where) const {
+  if (!audit::enabled())
+    return;
+  audit::check(PendingHits.empty() && PendingPublishes.empty(), Where,
+               "session " + std::to_string(SessionId) +
+                   " audited with uncommitted pending share logs");
+  for (const Mapping &M : Registry) {
+    audit::check(M.V != nullptr, Where, "null variant in share registry");
+    audit::check(!M.V->Evicted, Where,
+                 "share registry of session " + std::to_string(SessionId) +
+                     " holds a locally evicted variant");
+    bool Found = false;
+    for (const ShareEntry::Installer &In : Cache.entry(M.EntryIdx).Installers)
+      if (In.Session == SessionId && In.V == M.V) {
+        Found = true;
+        break;
+      }
+    audit::check(Found, Where,
+                 "session " + std::to_string(SessionId) +
+                     " registry mapping missing from shared entry '" +
+                     Cache.entry(M.EntryIdx).Key + "'");
+  }
+}

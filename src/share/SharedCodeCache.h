@@ -1,0 +1,251 @@
+//===- share/SharedCodeCache.h - Process-wide shared code cache -*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ShareJIT-style process-wide shared code cache behind `aoci serve`
+/// (see PAPERS.md and DESIGN.md, "Shared code cache & serve mode").
+/// Compiled variants are keyed by their canonical plan fingerprint
+/// (share/PlanFingerprint.h); entries are pure metadata — the simulated
+/// "machine code" is each session's own byte-identical variant, so the
+/// shared index carries accounting (bytes, compile cycles, refcounts),
+/// never pointers execution depends on.
+///
+/// Concurrency & determinism contract: serve sessions execute in rounds.
+/// DURING a round, worker threads only ever call the const lookup path —
+/// the index is frozen. ALL mutation (publish merge, hit bookkeeping,
+/// installer registration, capacity eviction) happens at the
+/// single-threaded round barrier, in session-schedule order. Shared
+/// state therefore evolves as a pure function of the session schedule,
+/// which is what makes serve output byte-identical across `--jobs`; the
+/// round/barrier handoff through the thread pool provides the
+/// happens-before edges TSan checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_SHARE_SHAREDCODECACHE_H
+#define AOCI_SHARE_SHAREDCODECACHE_H
+
+#include "vm/CodeShare.h"
+#include "vm/CostModel.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aoci {
+
+struct CodeVariant;
+class VirtualMachine;
+
+/// Shared-index bound. CapacityBytes == 0 (the default) never evicts;
+/// a bound evicts in deterministic (LastHitRound, PublishSeq) order at
+/// round barriers, tombstoning the entry and force-evicting the mapping
+/// in every installing session.
+struct ShareCacheConfig {
+  uint64_t CapacityBytes = 0;
+
+  bool enabled() const { return CapacityBytes != 0; }
+};
+
+/// One published variant in the shared index. Entries are never erased:
+/// eviction tombstones them (exactly the PR 5 discipline), so a stale
+/// index or installer reference is an auditable bug, not a dangling one.
+struct ShareEntry {
+  /// The canonical fingerprint (embeds method name, level, units).
+  std::string Key;
+  std::string MethodName;
+  OptLevel Level = OptLevel::Opt1;
+  uint64_t MachineUnits = 0;
+  uint64_t CodeBytes = 0;
+  /// What the publisher paid — the cycles every later hit saves (minus
+  /// its link cost).
+  uint64_t FullCompileCycles = 0;
+  /// Monotonic id, assigned in barrier merge order; the deterministic
+  /// eviction tie-break and the cross-event correlation handle of the
+  /// share-publish / share-hit / share-evict trace kinds.
+  uint64_t PublishSeq = 0;
+  uint64_t PublishedRound = 0;
+  /// Round of the most recent committed hit (publish round initially);
+  /// primary key of the shared eviction order.
+  uint64_t LastHitRound = 0;
+  uint64_t Hits = 0;
+  bool Tombstoned = false;
+
+  /// Live mappings: which session installed which local variant from
+  /// this entry (the publisher's own copy included). The vector's size
+  /// is the entry's refcount; the auditor cross-checks it against the
+  /// per-session registries every barrier.
+  struct Installer {
+    unsigned Session = 0;
+    const CodeVariant *V = nullptr;
+  };
+  std::vector<Installer> Installers;
+};
+
+/// The process-wide index. One instance per `aoci serve` invocation,
+/// shared by every session bridge. See the file comment for the
+/// frozen-during-rounds / mutate-at-barriers contract; methods below are
+/// grouped accordingly.
+class SharedCodeCache {
+public:
+  explicit SharedCodeCache(ShareCacheConfig Config = ShareCacheConfig())
+      : Config(Config) {}
+
+  const ShareCacheConfig &config() const { return Config; }
+
+  //===--------------------------------------------------------------------===//
+  // In-round (const; concurrent with other sessions' lookups).
+  //===--------------------------------------------------------------------===//
+
+  /// Live (non-tombstoned) entry for \p Key, or null. \p Idx (optional)
+  /// receives the entry's stable index.
+  const ShareEntry *lookup(const std::string &Key,
+                           size_t *Idx = nullptr) const;
+
+  //===--------------------------------------------------------------------===//
+  // Barrier-side (single-threaded, session-schedule order only).
+  //===--------------------------------------------------------------------===//
+
+  /// Merges one publish. Returns the new entry's stable index, or
+  /// SIZE_MAX when a live entry with the key already exists (a duplicate
+  /// — typically two sessions compiling the same method in the same
+  /// round; first committer wins). A tombstoned key may be re-published;
+  /// the tombstone is retired in place.
+  size_t publish(const std::string &Key, const CodeVariant &V,
+                 unsigned Session, uint64_t Round);
+
+  /// Commits one hit on entry \p Idx and registers the hitting session's
+  /// local variant as an installer.
+  void recordHit(size_t Idx, const CodeVariant &V, unsigned Session,
+                 uint64_t Round);
+
+  /// Drops the (Session, V) mapping from entry \p Idx (local eviction or
+  /// session completion). No-op if not registered.
+  void deregisterInstaller(size_t Idx, unsigned Session,
+                           const CodeVariant *V);
+
+  /// Tombstones victims in (LastHitRound, PublishSeq) order until live
+  /// bytes fit the configured capacity. Returns the indices tombstoned
+  /// this pass; the serve driver force-evicts their installers (the
+  /// entries keep their Installers until each session's eviction is
+  /// applied). No-op when unbounded.
+  std::vector<size_t> enforceCapacity(uint64_t Round);
+
+  ShareEntry &entry(size_t Idx) { return Entries[Idx]; }
+  const ShareEntry &entry(size_t Idx) const { return Entries[Idx]; }
+
+  /// Throws audit::AuditError when the byte ledger, the live-key map, or
+  /// any installer registration contradicts the entry states. No-op
+  /// unless auditing is enabled (support/Audit.h).
+  void audit(const char *Where) const;
+
+  //===--------------------------------------------------------------------===//
+  // Accounting.
+  //===--------------------------------------------------------------------===//
+
+  uint64_t liveBytes() const { return LiveBytes; }
+  uint64_t peakBytes() const { return PeakBytes; }
+  uint64_t numEntries() const { return Entries.size(); }
+  uint64_t numLiveEntries() const { return LiveByKey.size(); }
+  uint64_t publishesAccepted() const { return PublishesAccepted; }
+  uint64_t duplicatePublishes() const { return DuplicatePublishes; }
+  uint64_t totalHits() const { return TotalHits; }
+  uint64_t sharedEvictions() const { return SharedEvictions; }
+
+private:
+  ShareCacheConfig Config;
+  std::vector<ShareEntry> Entries;
+  /// Key -> index of the live entry (tombstones are unmapped).
+  std::map<std::string, size_t> LiveByKey;
+  uint64_t NextPublishSeq = 0;
+  uint64_t LiveBytes = 0;
+  uint64_t PeakBytes = 0;
+  uint64_t PublishesAccepted = 0;
+  uint64_t DuplicatePublishes = 0;
+  uint64_t TotalHits = 0;
+  uint64_t SharedEvictions = 0;
+};
+
+/// Per-session bridge: the CodeShareClient a serve session's
+/// AdaptiveSystem consults, plus the barrier-side half the serve driver
+/// drives. In-round it only reads the frozen index and appends to
+/// session-local pending logs; commitRound() folds those logs into the
+/// shared index at the barrier.
+class ShareSession : public CodeShareClient {
+public:
+  /// \p VM is the session's virtual machine (program, cost model, code
+  /// manager, trace sink, clock); \p SessionId is its position in the
+  /// serve schedule. Both must outlive the bridge.
+  ShareSession(SharedCodeCache &Cache, unsigned SessionId,
+               VirtualMachine &VM)
+      : Cache(Cache), SessionId(SessionId), VM(VM) {}
+
+  // In-round (session thread).
+  ShareOutcome onVariantCompiled(const CodeVariant &V) override;
+  void onVariantInstalled(const CodeVariant &Installed,
+                          const ShareOutcome &O) override;
+
+  //===--------------------------------------------------------------------===//
+  // Barrier-side (serve driver, single-threaded, schedule order).
+  //===--------------------------------------------------------------------===//
+
+  /// Folds this session's round into the shared index: sweeps locally
+  /// evicted registrations, registers committed hits, merges pending
+  /// publishes (emitting share-publish trace events for accepted ones,
+  /// timestamped at the session's current clock — the cycle the entry
+  /// became visible).
+  void commitRound(uint64_t Round);
+
+  /// The session finished: deregisters every remaining mapping.
+  void sessionEnded();
+
+  /// The shared cache tombstoned entry \p Idx and this session is (or
+  /// may be) a registered installer: force-evicts the local variant
+  /// through CodeManager::evictNow (deopting live activations),
+  /// deregisters, and emits the share-evict trace event. Returns false
+  /// when the variant was pinned — it then stays registered on the
+  /// tombstoned entry and is swept once it dies locally.
+  bool applySharedEviction(size_t Idx);
+
+  /// Audit hook: every registered mapping must be live locally and
+  /// present on its entry. Called per barrier by the driver.
+  void auditRegistry(const char *Where) const;
+
+  unsigned sessionId() const { return SessionId; }
+  size_t numRegistered() const { return Registry.size(); }
+  uint64_t sharedEvictionsApplied() const { return SharedEvictionsApplied; }
+  uint64_t pinnedSharedEvicts() const { return PinnedSharedEvicts; }
+
+private:
+  struct Mapping {
+    size_t EntryIdx = 0;
+    const CodeVariant *V = nullptr;
+  };
+  struct PendingPublish {
+    std::string Key;
+    const CodeVariant *V = nullptr;
+  };
+
+  SharedCodeCache &Cache;
+  unsigned SessionId;
+  VirtualMachine &VM;
+  /// Fingerprint stash between the paired onVariantCompiled /
+  /// onVariantInstalled calls (strictly nested, session thread only).
+  std::string PendingKey;
+  size_t PendingHitIdx = 0;
+  std::vector<Mapping> PendingHits;
+  std::vector<PendingPublish> PendingPublishes;
+  /// This session's live mappings into the shared index.
+  std::vector<Mapping> Registry;
+  uint64_t SharedEvictionsApplied = 0;
+  uint64_t PinnedSharedEvicts = 0;
+};
+
+} // namespace aoci
+
+#endif // AOCI_SHARE_SHAREDCODECACHE_H

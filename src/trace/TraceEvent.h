@@ -78,9 +78,21 @@ enum class TraceEventKind : uint8_t {
   /// applied counts plus the total dropped by stale-name resolution.
   /// Emitted uncharged, at most once per run, before the first sample.
   ProfileLoad,
+  /// A compiled variant entering the process-wide shared code cache
+  /// (serve mode, src/share/): the publishing session paid the full
+  /// compile cost and made the plan available to other tenants.
+  SharePublish,
+  /// A shared-cache hit: the session found a published variant with the
+  /// same (method, inline-plan fingerprint, level) key and charged only
+  /// the install/link cost instead of a full compilation.
+  ShareHit,
+  /// A shared-cache eviction (capacity pressure on the shared index):
+  /// the entry is tombstoned and every session that installed it deopts
+  /// and rematerializes, exactly like a private code-cache eviction.
+  ShareEvict,
 };
 
-constexpr unsigned NumTraceEventKinds = 17;
+constexpr unsigned NumTraceEventKinds = 20;
 
 /// Stable kebab-case names (JSON `name` field, `--trace-filter` tokens).
 const char *traceEventKindName(TraceEventKind K);

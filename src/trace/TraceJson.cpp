@@ -233,6 +233,27 @@ void writeArgs(std::ostream &OS, const TraceSink &Sink, const TraceEvent &E) {
     intArg(OS, First, "refusals", E.E);
     numArg(OS, First, "dropped", E.X);
     break;
+  case TraceEventKind::SharePublish:
+    methodArg(OS, First, "method", Sink, E.Method);
+    intArg(OS, First, "level", E.A);
+    intArg(OS, First, "codeBytes", E.B);
+    intArg(OS, First, "publishSeq", E.C);
+    intArg(OS, First, "entries", E.D);
+    break;
+  case TraceEventKind::ShareHit:
+    methodArg(OS, First, "method", Sink, E.Method);
+    intArg(OS, First, "level", E.A);
+    intArg(OS, First, "codeBytes", E.B);
+    intArg(OS, First, "cyclesSaved", E.C);
+    intArg(OS, First, "publishSeq", E.D);
+    break;
+  case TraceEventKind::ShareEvict:
+    methodArg(OS, First, "method", Sink, E.Method);
+    intArg(OS, First, "level", E.A);
+    intArg(OS, First, "codeBytes", E.B);
+    intArg(OS, First, "publishSeq", E.C);
+    intArg(OS, First, "installers", E.D);
+    break;
   }
   OS << "}";
 }

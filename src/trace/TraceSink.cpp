@@ -53,6 +53,12 @@ const char *aoci::traceEventKindName(TraceEventKind K) {
     return "fuse-install";
   case TraceEventKind::ProfileLoad:
     return "profile-load";
+  case TraceEventKind::SharePublish:
+    return "share-publish";
+  case TraceEventKind::ShareHit:
+    return "share-hit";
+  case TraceEventKind::ShareEvict:
+    return "share-evict";
   }
   return "<invalid>";
 }

@@ -182,6 +182,45 @@ const CodeVariant *CodeManager::install(std::unique_ptr<CodeVariant> Variant) {
   return Ptr;
 }
 
+bool CodeManager::evictNow(const CodeVariant &V) {
+  CodeVariant *Target = nullptr;
+  for (const auto &Owned : Variants)
+    if (Owned.get() == &V) {
+      Target = Owned.get();
+      break;
+    }
+  assert(Target && "evictNow on a variant this manager does not own");
+  if (!Target || Target->Evicted)
+    return true;
+  if (!Delegate)
+    return false; // liveness unknowable: pinned, like enforceCapacity
+  // Mirror enforceCapacity's re-entrancy discipline: baselines the deopt
+  // rematerializes mid-eviction must not recursively evict or move the
+  // high-water mark.
+  const bool Outer = !InEviction;
+  InEviction = true;
+  bool Reclaimed = false;
+  if (Delegate->prepareEviction(*Target)) {
+    evict(*Target);
+    Reclaimed = true;
+  }
+  if (Outer) {
+    InEviction = false;
+    if (LiveBytes > PeakBytes)
+      PeakBytes = LiveBytes;
+    auditAccounting("evict-now");
+  }
+  return Reclaimed;
+}
+
+uint64_t CodeManager::sharedInBytesLive() const {
+  uint64_t Bytes = 0;
+  for (const auto &V : Variants)
+    if (!V->Evicted && V->SharedIn)
+      Bytes += V->CodeBytes;
+  return Bytes;
+}
+
 uint64_t CodeManager::optimizedBytesResident() const {
   uint64_t Bytes = 0;
   for (const CodeVariant *V : Current)

@@ -144,6 +144,22 @@ public:
   /// Number of variants the bounded cache has evicted.
   uint64_t numEvictions() const { return Evictions; }
 
+  /// Force-evicts \p V now, regardless of capacity — the cross-session
+  /// path: when the process-wide shared cache (src/share/) evicts an
+  /// entry, every session that installed it reclaims its mapping through
+  /// here, reusing the exact prepareEviction/deopt/tombstone machinery of
+  /// a capacity eviction. Returns false when the delegate reports the
+  /// variant pinned (a live activation that cannot be transferred);
+  /// returns true when it was reclaimed — or was already a tombstone.
+  /// \p V must be owned by this manager.
+  bool evictNow(const CodeVariant &V);
+
+  /// Bytes of live code currently mapped from the shared cache (variants
+  /// carrying CodeVariant::SharedIn) — the "shared" half of the
+  /// per-tenant shared-vs-private code-byte split; the private half is
+  /// liveCodeBytes() minus this.
+  uint64_t sharedInBytesLive() const;
+
   /// Number of compilations that re-created code for a method whose every
   /// variant had been evicted — the recompile-on-re-entry cost of
   /// bounding the cache.

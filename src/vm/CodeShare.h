@@ -1,0 +1,75 @@
+//===- vm/CodeShare.h - Cross-session code-sharing hook ---------*- C++ -*-===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive system's hook into a process-wide shared code cache
+/// (serve mode). Declared in the vm layer — like CodeEvictionDelegate —
+/// so core can consult a share client without depending on src/share/;
+/// the concrete implementation (SharedCodeCache + per-session bridge)
+/// lives there and is wired up by the serve harness.
+///
+/// Protocol: the optimizing compiler is host-side cheap and its simulated
+/// CompileCycles are charged by the caller *after* compile(), so the
+/// share client is consulted once per optimizing compilation, between
+/// building the variant and charging for it. On a hit the session
+/// installs the variant it just built (byte-identical by construction —
+/// the shared key includes the canonical inline-plan fingerprint) but
+/// charges only the link cost; on a miss it pays the full compile and
+/// publishes. A key collision can therefore only ever mis-account
+/// cycles, never execute wrong code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AOCI_VM_CODESHARE_H
+#define AOCI_VM_CODESHARE_H
+
+#include <cstdint>
+
+namespace aoci {
+
+struct CodeVariant;
+
+/// What the shared cache decided about one freshly compiled variant.
+struct ShareOutcome {
+  /// True when a published entry with the same (method name, inline-plan
+  /// fingerprint, opt level) key was found.
+  bool Hit = false;
+  /// Cycles the session pays instead of the full compile (hit only:
+  /// CostModel::shareLinkCycles of the variant).
+  uint64_t ChargeCycles = 0;
+  /// Full compile cycles minus ChargeCycles (hit only).
+  uint64_t CyclesSaved = 0;
+  /// The shared entry's publish sequence number (hit only); carried into
+  /// the share-hit trace event so hits correlate with their publish.
+  uint64_t PublishSeq = 0;
+};
+
+/// Interface the serve harness installs on each session's AdaptiveSystem
+/// (setShareClient). Both hooks run on the session's own thread; shared
+/// state behind them is only read during a scheduling round and only
+/// mutated at the round barriers, which is what keeps a fixed session
+/// schedule byte-identical across --jobs (see DESIGN.md, "Shared code
+/// cache & serve mode").
+class CodeShareClient {
+public:
+  virtual ~CodeShareClient() = default;
+
+  /// Consulted after the optimizing compiler built \p V but before its
+  /// CompileCycles are charged or the variant is installed.
+  virtual ShareOutcome onVariantCompiled(const CodeVariant &V) = 0;
+
+  /// \p Installed is the stable pointer the session's CodeManager now
+  /// owns for the variant onVariantCompiled() just classified; \p O is
+  /// that classification. Hits register the session as an installer of
+  /// the shared entry; misses queue a publish for the next barrier.
+  virtual void onVariantInstalled(const CodeVariant &Installed,
+                                  const ShareOutcome &O) = 0;
+};
+
+} // namespace aoci
+
+#endif // AOCI_VM_CODESHARE_H

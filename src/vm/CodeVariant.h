@@ -51,6 +51,14 @@ struct CodeVariant {
   /// retarget) of this variant; the bounded cache's LRU key. Mutable
   /// because stamping an invocation does not change what the code *is*.
   mutable uint64_t LastUsedCycle = 0;
+  /// True when this variant is mapped from the process-wide shared code
+  /// cache (serve mode, src/share/): either it was installed as a
+  /// shared-cache hit, or this session published it and the publish was
+  /// accepted into the shared index. Shared-vs-private code-byte
+  /// accounting keys off this flag. Mutable for the same reason as
+  /// LastUsedCycle: the publish barrier tags an already-installed
+  /// variant without changing what the code is.
+  mutable bool SharedIn = false;
   /// True once the bounded cache reclaimed this variant. The object stays
   /// owned by CodeManager (a tombstone) so any stale pointer into it is a
   /// detectable audit failure rather than a host use-after-free; only the

@@ -165,6 +165,14 @@ struct CostModel {
   /// itself plus the retained fallback call sequence).
   uint64_t GuardSizeUnits = 6;
 
+  /// Cost of installing a shared-code-cache hit instead of compiling
+  /// (serve mode, src/share/): linking a variant another session already
+  /// published into this session's code cache. Charged in place of
+  /// compileCycles() — far below CompileBaseCost, so a hit is a real
+  /// compile-cycle saving while still not being free.
+  uint64_t ShareLinkBaseCost = 1200;
+  uint64_t ShareLinkCyclesPerUnit = 12;
+
   /// Bounded code cache (off by default — see CodeCacheConfig). Bounding
   /// models the code-space pressure the paper's Figure 5 is about:
   /// evicted methods fall back to baseline (or recompile on re-entry),
@@ -239,6 +247,12 @@ struct CostModel {
 
   uint64_t codeBytes(OptLevel L, uint64_t MachineUnits) const {
     return BytesPerUnit[static_cast<unsigned>(L)] * MachineUnits;
+  }
+
+  /// Cycles a session pays to install a shared-cache hit (in place of
+  /// compileCycles; see ShareLinkBaseCost).
+  uint64_t shareLinkCycles(uint64_t MachineUnits) const {
+    return ShareLinkBaseCost + ShareLinkCyclesPerUnit * MachineUnits;
   }
 
   /// Expected steady-state speed ratio of level \p To over level \p From,

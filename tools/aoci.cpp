@@ -26,6 +26,7 @@
 #include "harness/Experiment.h"
 #include "harness/Fuzzer.h"
 #include "harness/Reporters.h"
+#include "harness/Serve.h"
 #include "harness/SteadyState.h"
 #include "opt/PlanPrinter.h"
 #include "profile/ProfileIo.h"
@@ -84,6 +85,12 @@ int usage() {
       "              [--scale X] [--seed N] [--trials N] [--osr on|off]\n"
       "              [--code-cache BYTES] [--fuse on|off|level=N]\n"
       "              [--json FILE]\n"
+      "  aoci serve --tenants a[:N],b[:N] [--policy P] [--depth N]\n"
+      "             [--scale X] [--seed N] [--slice CYCLES] [--stagger N]\n"
+      "             [--share-cache BYTES|off] [--code-cache BYTES]\n"
+      "             [--osr on|off] [--fuse on|off|level=N] [--jobs N]\n"
+      "             [--csv FILE] [--trace-out FILE] [--trace-filter kinds]\n"
+      "             [--warm-start FILE]\n"
       "policies: cins fixed paramLess class large hybrid1 hybrid2 "
       "imprecision\n"
       "workloads: Table 1 names plus the built-in adversarial scenarios\n"
@@ -95,6 +102,14 @@ int usage() {
       "  the exit status is 1 iff a differential not in DIR was found.\n"
       "steady: runs each workload traced and reports the warmup/steady\n"
       "  split; exit status is 1 unless every run reached steady state.\n"
+      "serve: runs the tenant sessions concurrently against one\n"
+      "  process-wide shared code cache (variants keyed by method +\n"
+      "  inline-plan fingerprint + opt level); a hit charges only the\n"
+      "  link cost. Deterministic for any --jobs. --share-cache bounds\n"
+      "  the shared index (off disables sharing entirely); --stagger\n"
+      "  offsets session start rounds; --slice sets the per-round cycle\n"
+      "  slice. OSR defaults ON in serve so shared evictions can deopt\n"
+      "  live sessions.\n"
       "--osr: transfer live activations onto replacement code at loop\n"
       "  backedges (on-stack replacement + deoptimization); default off\n"
       "--code-cache: bound total installed code bytes; victims are chosen\n"
@@ -1099,6 +1114,129 @@ int cmdSteady(int Argc, char **Argv) {
   return AllReached ? 0 : 1;
 }
 
+int cmdServe(int Argc, char **Argv) {
+  ServeConfig Config;
+  std::string TenantList, Csv, TraceOut, TraceFilter, WarmStartPath;
+  unsigned Jobs = 1;
+
+  Args A{Argc, Argv};
+  while (!A.done()) {
+    std::string Value;
+    if (A.flag("--tenants", Value)) {
+      TenantList = Value;
+    } else if (A.flag("--policy", Value)) {
+      if (!parsePolicy(Value, Config.Policy)) {
+        std::fprintf(stderr, "unknown policy '%s'\n", Value.c_str());
+        return 1;
+      }
+    } else if (A.flag("--depth", Value)) {
+      if (!parseUnsigned32("--depth", Value, Config.MaxDepth))
+        return 1;
+    } else if (A.flag("--scale", Value)) {
+      Config.Params.Scale = std::atof(Value.c_str());
+    } else if (A.flag("--seed", Value)) {
+      if (!parseUnsigned("--seed", Value,
+                         std::numeric_limits<uint64_t>::max(),
+                         Config.Params.Seed))
+        return 1;
+    } else if (A.flag("--slice", Value)) {
+      if (!parseUnsigned("--slice", Value,
+                         std::numeric_limits<uint64_t>::max(),
+                         Config.SliceCycles))
+        return 1;
+      if (Config.SliceCycles == 0) {
+        std::fprintf(stderr, "--slice must be at least 1 cycle\n");
+        return 1;
+      }
+    } else if (A.flag("--stagger", Value)) {
+      if (!parseUnsigned32("--stagger", Value, Config.StaggerRounds))
+        return 1;
+    } else if (A.flag("--share-cache", Value)) {
+      if (Value == "off") {
+        Config.ShareEnabled = false;
+        Config.ShareCapacityBytes = 0;
+      } else if (!parseUnsigned("--share-cache", Value,
+                                std::numeric_limits<uint64_t>::max(),
+                                Config.ShareCapacityBytes))
+        return 1;
+    } else if (A.flag("--code-cache", Value)) {
+      if (!parseUnsigned("--code-cache", Value,
+                         std::numeric_limits<uint64_t>::max(),
+                         Config.Model.CodeCache.CapacityBytes))
+        return 1;
+    } else if (A.flag("--osr", Value)) {
+      if (!parseOsr(Value, Config.Aos.Osr.Enabled))
+        return 1;
+    } else if (A.flag("--fuse", Value)) {
+      if (!parseFuse(Value, Config.Model.Fuse))
+        return 1;
+    } else if (A.flag("--jobs", Value)) {
+      if (!parseUnsigned32("--jobs", Value, Jobs))
+        return 1;
+    } else if (A.flag("--csv", Value)) {
+      Csv = Value;
+    } else if (A.flag("--trace-out", Value)) {
+      TraceOut = Value;
+    } else if (A.flag("--trace-filter", Value)) {
+      TraceFilter = Value;
+    } else if (A.flag("--warm-start", Value)) {
+      WarmStartPath = Value;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Argv[A.Pos]);
+      return usage();
+    }
+  }
+  if (TenantList.empty()) {
+    std::fprintf(stderr, "serve: --tenants is required\n");
+    return usage();
+  }
+  std::string Error;
+  if (!parseTenantList(TenantList, Config.Tenants, Error)) {
+    std::fprintf(stderr, "serve: %s\n", Error.c_str());
+    return 1;
+  }
+  uint32_t Mask = TraceAllKinds;
+  if (!parseTraceFilter(TraceFilter, Mask, Error)) {
+    std::fprintf(stderr, "serve: %s\n", Error.c_str());
+    return 1;
+  }
+  Config.Trace = !TraceOut.empty();
+  Config.TraceKindMask = Mask;
+  if (!WarmStartPath.empty()) {
+    Config.WarmStart = loadWarmStartProfile(WarmStartPath);
+    if (!Config.WarmStart)
+      return 1;
+  }
+
+  const ServeResults Results = runServe(
+      Config, Jobs, [](const std::string &Line) {
+        std::fprintf(stderr, "%s\n", Line.c_str());
+      });
+
+  std::printf("%s", reportServe(Results).c_str());
+  if (!Csv.empty()) {
+    std::ofstream Out(Csv, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", Csv.c_str());
+      return 1;
+    }
+    Out << exportServeCsv(Results);
+    std::fprintf(stderr, "serve csv written to %s\n", Csv.c_str());
+  }
+  if (!TraceOut.empty()) {
+    std::ofstream Out(TraceOut, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", TraceOut.c_str());
+      return 1;
+    }
+    exportServeTrace(Out, Results);
+    std::fprintf(stderr,
+                 "trace written to %s (load it at ui.perfetto.dev)\n",
+                 TraceOut.c_str());
+  }
+  return 0;
+}
+
 int cmdDisasm(int Argc, char **Argv) {
   if (Argc < 3)
     return usage();
@@ -1140,5 +1278,7 @@ int main(int Argc, char **Argv) {
     return cmdReplay(Argc, Argv);
   if (Command == "steady")
     return cmdSteady(Argc, Argv);
+  if (Command == "serve")
+    return cmdServe(Argc, Argv);
   return usage();
 }

@@ -40,20 +40,47 @@ def load_benchmarks(path, missing_ok=False):
     except (OSError, ValueError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+    if not isinstance(doc, dict):
+        print(f"error: {path}: top-level JSON value is "
+              f"{type(doc).__name__}, expected an object with a "
+              f"'benchmarks' array", file=sys.stderr)
+        sys.exit(2)
+    benchmarks = doc.get("benchmarks", [])
+    if not isinstance(benchmarks, list):
+        print(f"error: {path}: 'benchmarks' is "
+              f"{type(benchmarks).__name__}, expected an array",
+              file=sys.stderr)
+        sys.exit(2)
     out = {}
-    for b in doc.get("benchmarks", []):
+    for i, b in enumerate(benchmarks):
+        if not isinstance(b, dict):
+            print(f"error: {path}: benchmarks[{i}] is "
+                  f"{type(b).__name__}, expected an object",
+                  file=sys.stderr)
+            sys.exit(2)
         if b.get("run_type") == "aggregate" or "error_occurred" in b:
             continue
         name = b.get("name")
         real = b.get("real_time")
         if name is None or real is None:
             continue
+        if not isinstance(real, (int, float)) or isinstance(real, bool):
+            print(f"error: {path}: benchmarks[{i}] ({name}): real_time is "
+                  f"{real!r}, expected a number", file=sys.stderr)
+            sys.exit(2)
+        ips = b.get("items_per_second")
+        if ips is not None and (not isinstance(ips, (int, float))
+                                or isinstance(ips, bool)):
+            print(f"error: {path}: benchmarks[{i}] ({name}): "
+                  f"items_per_second is {ips!r}, expected a number",
+                  file=sys.stderr)
+            sys.exit(2)
         unit = b.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
         if scale is None:
             print(f"error: {path}: unknown time_unit '{unit}'", file=sys.stderr)
             sys.exit(2)
-        out[name] = (b.get("items_per_second"), real * scale)
+        out[name] = (ips, real * scale)
     return out
 
 
@@ -83,6 +110,10 @@ def main():
             continue
         b_ips, b_ns = base[name]
         c_ips, c_ns = cur[name]
+        if b_ns == 0 and not (b_ips and c_ips):
+            # A zero baseline cannot gate a ratio; report, never fail.
+            print(f"{name:<44} {'(zero baseline)':>12}")
+            continue
         if b_ips and c_ips:
             # Higher is better; slowdown = throughput loss.
             slowdown_pct = (b_ips / c_ips - 1.0) * 100.0

@@ -99,6 +99,21 @@ def typespec:
       tids: [4],
       req: {version: "number", traces: "number", decisions: "number",
             hotMethods: "number", refusals: "number", dropped: "number"}
+    },
+    "share-publish": {
+      tids: [2],
+      req: {method: "string", level: "number", codeBytes: "number",
+            publishSeq: "number", entries: "number"}
+    },
+    "share-hit": {
+      tids: [2],
+      req: {method: "string", level: "number", codeBytes: "number",
+            cyclesSaved: "number", publishSeq: "number"}
+    },
+    "share-evict": {
+      tids: [2],
+      req: {method: "string", level: "number", codeBytes: "number",
+            publishSeq: "number", installers: "number"}
     }
   };
 
