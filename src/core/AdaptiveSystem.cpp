@@ -64,7 +64,7 @@ AdaptiveSystem::AdaptiveSystem(VirtualMachine &VM, ContextPolicy &Policy,
     : VM(VM), Policy(Policy), Config(Config),
       MethodL(Config.MethodBufferCapacity),
       TraceL(Policy, Config.TraceBufferCapacity, Config.InlineAwareWalk),
-      AiOrg(Config.Ai),
+      AiOrg(Config.Ai), BudgetOrg(Config.Budget),
       Ctrl(VM.program(), VM.costModel(), Config.ControllerCfg),
       Compiler(VM.program(), VM.hierarchy(), VM.costModel()),
       OsrMgr(Config.Osr) {
@@ -82,7 +82,38 @@ void AdaptiveSystem::seedProfile(const DynamicCallGraph &Training) {
     Dcg.addSample(T, Weight);
     ++AuditTracesFed;
   });
-  AiOrg.rebuildRules(VM.program(), Dcg, /*NowCycle=*/0, Rules);
+  rebuildInlineRules(/*NowCycle=*/0);
+}
+
+size_t AdaptiveSystem::rebuildInlineRules(uint64_t NowCycle) {
+  if (Config.Organizer == InlineOrganizerKind::Threshold)
+    return AiOrg.rebuildRules(VM.program(), Dcg, NowCycle, Rules);
+
+  // Budget organizer: same consumption surface (the rule set), plus an
+  // uncharged budget-decision event per priced candidate.
+  TraceSink *Sink = VM.traceSink();
+  BudgetInliningOrganizer::DecisionFn OnDecision;
+  if (Sink && Sink->wants(TraceEventKind::BudgetDecision))
+    OnDecision = [&](MethodId Caller, MethodId Callee, uint64_t Units,
+                     uint64_t Remaining, bool Accepted, bool Measured,
+                     double Weight) {
+      TraceEvent &E = Sink->append(TraceEventKind::BudgetDecision,
+                                   traceTrack(AosComponent::AiOrganizer),
+                                   VM.cycles());
+      E.Method = Caller;
+      E.A = static_cast<int64_t>(Callee);
+      E.B = static_cast<int64_t>(Units);
+      E.C = static_cast<int64_t>(Remaining);
+      E.D = Accepted ? 1 : 0;
+      E.E = Measured ? 1 : 0;
+      E.X = Weight;
+    };
+  BudgetRebuildStats B = BudgetOrg.rebuildRules(VM.program(), Dcg, Db, Calib,
+                                                NowCycle, Rules, OnDecision);
+  Stats.BudgetUnitsSpent += B.UnitsSpent;
+  Stats.BudgetCandidatesAccepted += B.CandidatesAccepted;
+  Stats.BudgetCandidatesPruned += B.CandidatesPruned;
+  return B.Scanned;
 }
 
 WarmStartStats AdaptiveSystem::warmStart(const ProfileData &Profile) {
@@ -149,7 +180,7 @@ WarmStartStats AdaptiveSystem::warmStart(const ProfileData &Profile) {
   // Codify rules from the seeded DCG, then re-apply persisted decisions
   // the thresholds alone would not recreate (rules whose supporting
   // weight had already decayed when the profile was saved).
-  AiOrg.rebuildRules(P, Dcg, /*NowCycle=*/0, Rules);
+  rebuildInlineRules(/*NowCycle=*/0);
   for (const ProfileTraceLine &L : Profile.Decisions) {
     Trace T;
     if (!resolveTrace(L, T)) {
@@ -341,8 +372,11 @@ void AdaptiveSystem::dcgOrganizerWakeup() {
                  Config.ImprecisionPerSiteCost * Scanned);
   }
 
-  // The adaptive inlining organizer recodifies the rule set.
-  size_t Scanned = AiOrg.rebuildRules(VM.program(), Dcg, VM.cycles(), Rules);
+  // The configured inlining organizer recodifies the rule set. Both
+  // organizers charge the same per-scanned-trace cost so the Figure 6
+  // overhead comparison across the `--organizer` axis stays apples to
+  // apples.
+  size_t Scanned = rebuildInlineRules(VM.cycles());
   VM.chargeAos(AosComponent::AiOrganizer, Config.AiPerScanCost * Scanned);
   traceWakeup(VM.traceSink(), AosComponent::AiOrganizer, VM.cycles(), OrgAi,
               static_cast<int64_t>(Stats.DcgOrganizerWakeups - 1),
@@ -452,6 +486,16 @@ void AdaptiveSystem::processCompilationQueue() {
     Event.InlineBodies = Variant->Plan.NumInlineBodies;
     Event.Guards = Variant->Plan.NumGuards;
     Db.recordCompilation(Event);
+
+    // Measured-size feedback: the ledger the budget organizer prices
+    // from, and a calibration sample comparing the static estimator's
+    // whole-body prediction against the real variant. Pure bookkeeping —
+    // no cycles are charged, so threshold-organizer runs are bit-exact
+    // with and without it.
+    Db.recordMeasuredSize(Request.M, Variant->Level, Variant->MachineUnits,
+                          Variant->CodeBytes, Variant->CompileCycles);
+    Calib.observe(inlinedSizeEstimate(VM.program(), Request.M, 0),
+                  Variant->MachineUnits);
 
     const CodeVariant *Installed =
         VM.codeManager().install(std::move(Variant));

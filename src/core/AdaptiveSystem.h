@@ -24,6 +24,7 @@
 #define AOCI_CORE_ADAPTIVESYSTEM_H
 
 #include "core/AosDatabase.h"
+#include "core/BudgetOrganizer.h"
 #include "core/Controller.h"
 #include "core/Organizers.h"
 #include "opt/Compiler.h"
@@ -37,6 +38,15 @@
 
 namespace aoci {
 
+/// Which organizer codifies inlining rules from the DCG: the paper's
+/// 1.5%-threshold AI organizer (the default, and the fidelity baseline)
+/// or the budget-driven organizer with measured-size feedback
+/// (core/BudgetOrganizer.h, the `--organizer budget` axis).
+enum class InlineOrganizerKind {
+  Threshold,
+  Budget,
+};
+
 /// All tunables of the adaptive system, including the per-piece overhead
 /// cycle costs that determine the Figure 6 breakdown.
 struct AosSystemConfig {
@@ -48,6 +58,12 @@ struct AosSystemConfig {
   ImprecisionConfig Imprecision;
   ControllerConfig ControllerCfg;
   InlinerConfig Inliner;
+
+  /// Rule-codification organizer. Threshold (the default) reproduces the
+  /// paper and every pre-existing golden byte-for-byte; Budget swaps in
+  /// the measured-size budget organizer.
+  InlineOrganizerKind Organizer = InlineOrganizerKind::Threshold;
+  BudgetOrganizerConfig Budget;
 
   /// Decay organizer period, in delivered samples.
   uint64_t DecayPeriodSamples = 120;
@@ -107,6 +123,12 @@ struct AosStats {
   uint64_t SharePublishes = 0;
   /// Sum over hits of (full compile cycles - charged link cycles).
   uint64_t ShareCyclesSaved = 0;
+  /// Budget-organizer activity (all zero under the threshold organizer):
+  /// priced units of accepted candidates, and candidates rejected by the
+  /// inflation or exploration budget, summed over all rebuilds.
+  uint64_t BudgetUnitsSpent = 0;
+  uint64_t BudgetCandidatesAccepted = 0;
+  uint64_t BudgetCandidatesPruned = 0;
 };
 
 /// Counters returned by AdaptiveSystem::warmStart(): how much of a
@@ -203,6 +225,9 @@ public:
   const DynamicCallGraph &dcg() const { return Dcg; }
   const InlineRuleSet &rules() const { return Rules; }
   const AosDatabase &database() const { return Db; }
+  /// Estimator calibration state (fed on every install, consulted only
+  /// by the budget organizer's pricing).
+  const SizeCalibration &calibration() const { return Calib; }
   const Controller &controller() const { return Ctrl; }
   const AosStats &stats() const { return Stats; }
   const OsrManager &osr() const { return OsrMgr; }
@@ -217,6 +242,10 @@ private:
   void decayWakeup();
   void missingEdgeWakeup();
   void processCompilationQueue();
+  /// Dispatches rule codification to the configured organizer and folds
+  /// budget stats / budget-decision trace events in. Returns the scanned
+  /// work-item count for overhead accounting.
+  size_t rebuildInlineRules(uint64_t NowCycle);
 
   VirtualMachine &VM;
   ContextPolicy &Policy;
@@ -227,6 +256,8 @@ private:
   DynamicCallGraph Dcg;
   InlineRuleSet Rules;
   AdaptiveInliningOrganizer AiOrg;
+  BudgetInliningOrganizer BudgetOrg;
+  SizeCalibration Calib;
   Controller Ctrl;
   AosDatabase Db;
   OptimizingCompiler Compiler;

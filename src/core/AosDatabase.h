@@ -41,6 +41,19 @@ struct CompilationEvent {
   unsigned Guards = 0;
 };
 
+/// Latest measured compile of one method: the real machine units, code
+/// bytes, and compile cycles CodeManager::install charged for its most
+/// recent variant. The budget organizer prices candidates with these
+/// instead of the static SizeEstimator whenever the callee has ever been
+/// compiled (Truffle-style "use the measured size, not the proxy").
+struct MeasuredSize {
+  uint64_t MachineUnits = 0;
+  uint64_t CodeBytes = 0;
+  uint64_t CompileCycles = 0;
+  OptLevel Level = OptLevel::Baseline;
+  unsigned Compiles = 0; ///< How many installs updated this entry.
+};
+
 /// The AOS database: inlining refusals plus the compilation event log.
 class AosDatabase : public InlineRefusalSink {
 public:
@@ -84,6 +97,29 @@ public:
   /// Number of optimizing (non-baseline) compilations of \p M.
   unsigned numOptCompilesOf(MethodId M) const;
 
+  //===--------------------------------------------------------------------===//
+  // Measured-size ledger
+  //===--------------------------------------------------------------------===//
+
+  /// Records the measured size of a freshly installed variant of \p M.
+  /// Later installs overwrite earlier ones: the newest variant is the
+  /// best prediction of what recompiling the method would cost now.
+  void recordMeasuredSize(MethodId M, OptLevel Level, uint64_t MachineUnits,
+                          uint64_t CodeBytes, uint64_t CompileCycles) {
+    MeasuredSize &S = Measured[M];
+    S.MachineUnits = MachineUnits;
+    S.CodeBytes = CodeBytes;
+    S.CompileCycles = CompileCycles;
+    S.Level = Level;
+    ++S.Compiles;
+  }
+
+  /// Measured-size entry for \p M, or null if it was never compiled.
+  const MeasuredSize *measuredSizeOf(MethodId M) const {
+    auto It = Measured.find(M);
+    return It == Measured.end() ? nullptr : &It->second;
+  }
+
 private:
   /// Refusal keys: (compiled method, edge caller, edge site, callee).
   struct RefusalKey {
@@ -105,6 +141,7 @@ private:
   std::unordered_set<RefusalKey, RefusalKeyHash> Refusals;
   size_t NumRefusals = 0;
   std::vector<CompilationEvent> Events;
+  std::unordered_map<MethodId, MeasuredSize> Measured;
 };
 
 } // namespace aoci

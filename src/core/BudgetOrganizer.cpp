@@ -1,0 +1,138 @@
+//===- core/BudgetOrganizer.cpp - Budget-driven inlining organizer ---------===//
+//
+// Part of the AOCI project: a reproduction of "Adaptive Online
+// Context-Sensitive Inlining" (Hazelwood & Grove, CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BudgetOrganizer.h"
+
+#include "bytecode/SizeClass.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace aoci;
+
+namespace {
+
+/// One priced candidate awaiting the budget decision.
+struct Candidate {
+  Trace T;
+  double Weight = 0;
+  uint64_t Units = 0;   ///< Priced size of inlining the callee.
+  bool Measured = false; ///< Priced from the ledger, not the estimator.
+};
+
+/// Strict-weak order for the greedy pass: weight density descending, then
+/// weight descending, then callee/context ascending so ties never depend
+/// on hash-map iteration order.
+bool candidateBefore(const Candidate &A, const Candidate &B) {
+  const double DensityA =
+      A.Weight / static_cast<double>(A.Units == 0 ? 1 : A.Units);
+  const double DensityB =
+      B.Weight / static_cast<double>(B.Units == 0 ? 1 : B.Units);
+  if (DensityA != DensityB)
+    return DensityA > DensityB;
+  if (A.Weight != B.Weight)
+    return A.Weight > B.Weight;
+  if (A.T.Callee != B.T.Callee)
+    return A.T.Callee < B.T.Callee;
+  return A.T.Context < B.T.Context;
+}
+
+/// Prices one callee: the ledger's measured machine units when the callee
+/// was ever compiled, otherwise the static estimate scaled by the
+/// calibration factor.
+uint64_t priceCallee(const Program &P, const AosDatabase &Db,
+                     const SizeCalibration &Calib, MethodId Callee,
+                     bool &Measured) {
+  if (const MeasuredSize *S = Db.measuredSizeOf(Callee)) {
+    Measured = true;
+    return S->MachineUnits == 0 ? 1 : S->MachineUnits;
+  }
+  Measured = false;
+  return Calib.calibrated(inlinedSizeEstimate(P, Callee, 0));
+}
+
+} // namespace
+
+BudgetRebuildStats BudgetInliningOrganizer::rebuildRules(
+    const Program &P, const DynamicCallGraph &Dcg, const AosDatabase &Db,
+    const SizeCalibration &Calib, uint64_t NowCycle, InlineRuleSet &Rules,
+    const DecisionFn &OnDecision) const {
+  BudgetRebuildStats Stats;
+  if (Dcg.totalWeight() <= 0) {
+    Rules.clear();
+    return Stats;
+  }
+
+  // Phase 1: collect and price candidates, grouped by the innermost
+  // caller (the method whose compiled size the candidate would inflate).
+  // std::map keys the groups by MethodId so the greedy pass below walks
+  // callers in a deterministic order — the shared exploration pool makes
+  // group order observable.
+  std::map<MethodId, std::vector<Candidate>> ByCaller;
+  Dcg.forEach([&](const Trace &T, double Weight) {
+    ++Stats.Scanned;
+    if (Weight < Config.MinCandidateWeight)
+      return;
+    const Method &Callee = P.method(T.Callee);
+    // Same inlinability gate as the threshold organizer: the compiler
+    // refuses large or abstract callees unconditionally, so pricing them
+    // would only burn budget on rules that can never be realized.
+    if (Callee.IsAbstract || classifyMethod(Callee) == SizeClass::Large)
+      return;
+    Candidate C;
+    C.T = T;
+    C.Weight = Weight;
+    C.Units = priceCallee(P, Db, Calib, T.Callee, C.Measured);
+    ByCaller[T.innermost().Caller].push_back(std::move(C));
+  });
+
+  // Phase 2: per caller, spend the inflation budget greedily by weight
+  // density; estimate-priced candidates additionally draw from the
+  // per-wakeup exploration pool.
+  uint64_t Exploration = Config.ExplorationUnits;
+  InlineRuleSet Fresh;
+  for (auto &[Caller, Candidates] : ByCaller) {
+    bool CallerMeasured = false;
+    const uint64_t CallerUnits =
+        priceCallee(P, Db, Calib, Caller, CallerMeasured);
+    uint64_t Remaining =
+        static_cast<uint64_t>(static_cast<double>(CallerUnits) *
+                              Config.InflationFactor) +
+        Config.SlackUnits;
+
+    std::sort(Candidates.begin(), Candidates.end(), candidateBefore);
+    for (Candidate &C : Candidates) {
+      const bool FitsBudget = C.Units <= Remaining;
+      const bool FitsExploration = C.Measured || C.Units <= Exploration;
+      const bool Accepted = FitsBudget && FitsExploration;
+      if (Accepted) {
+        Remaining -= C.Units;
+        if (!C.Measured)
+          Exploration -= C.Units;
+        Stats.UnitsSpent += C.Units;
+        ++Stats.CandidatesAccepted;
+      } else {
+        ++Stats.CandidatesPruned;
+      }
+      if (OnDecision)
+        OnDecision(Caller, C.T.Callee, C.Units, Remaining, Accepted,
+                   C.Measured, C.Weight);
+      if (!Accepted)
+        continue;
+      InliningRule Rule;
+      Rule.T = std::move(C.T);
+      Rule.Weight = C.Weight;
+      // Persisting rules are not new: keep the original creation time so
+      // the missing-edge organizer only reacts to genuinely new edges.
+      const InliningRule *Existing = Rules.find(Rule.T);
+      Rule.CreatedAtCycle = Existing ? Existing->CreatedAtCycle : NowCycle;
+      Fresh.add(std::move(Rule));
+    }
+  }
+  Rules = std::move(Fresh);
+  return Stats;
+}

@@ -66,11 +66,12 @@ std::string aoci::exportMetricsCsv(const GridResults &Results) {
       "steady,warmup_cycles,steady_cycles,fused_runs,fused_ops,"
       "fused_bytes,warm_start,warm_applied,warm_dropped,"
       "opt_compile_cycles,share_hits,share_publishes,share_saved_cycles,"
-      "shared_bytes,private_bytes\n";
+      "shared_bytes,private_bytes,budget_spent,budget_pruned,"
+      "estimate_err_pct\n";
   for (const RunMetrics &M : Results.metrics())
     Out += formatString(
         "%s,%s,%u,%s,%u,%llu,%llu,%llu,%s,%llu,%llu,%llu,%llu,%llu,"
-        "%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+        "%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.4f\n",
         M.WorkloadName.c_str(),
         M.IsBaseline ? "cins" : policyKindName(M.Policy), M.MaxDepth,
         M.IsBaseline ? "baseline" : "cell", M.Worker,
@@ -91,6 +92,8 @@ std::string aoci::exportMetricsCsv(const GridResults &Results) {
         static_cast<unsigned long long>(M.SharePublishes),
         static_cast<unsigned long long>(M.ShareCyclesSaved),
         static_cast<unsigned long long>(M.SharedBytes),
-        static_cast<unsigned long long>(M.PrivateBytes));
+        static_cast<unsigned long long>(M.PrivateBytes),
+        static_cast<unsigned long long>(M.BudgetSpent),
+        static_cast<unsigned long long>(M.BudgetPruned), M.EstimateErrPct);
   return Out;
 }

@@ -79,6 +79,10 @@ RunResult aoci::runExperiment(const RunConfig &Config) {
   R.ShareCyclesSaved = Aos.stats().ShareCyclesSaved;
   R.SharedCodeBytes = VM.codeManager().sharedInBytesLive();
   R.PrivateCodeBytes = R.LiveCodeBytes - R.SharedCodeBytes;
+  R.BudgetUnitsSpent = Aos.stats().BudgetUnitsSpent;
+  R.BudgetCandidatesAccepted = Aos.stats().BudgetCandidatesAccepted;
+  R.BudgetCandidatesPruned = Aos.stats().BudgetCandidatesPruned;
+  R.EstimateErrorPct = Aos.calibration().meanAbsErrorPct();
   R.WarmStarted = Config.WarmStart != nullptr;
   R.WarmStartApplied = Warm.applied();
   R.WarmStartDropped = Warm.dropped();
@@ -289,6 +293,9 @@ RunMetrics makeMetrics(const PlannedRun &Run, const RunResult &Result,
   M.ShareCyclesSaved = Result.ShareCyclesSaved;
   M.SharedBytes = Result.SharedCodeBytes;
   M.PrivateBytes = Result.PrivateCodeBytes;
+  M.BudgetSpent = Result.BudgetUnitsSpent;
+  M.BudgetPruned = Result.BudgetCandidatesPruned;
+  M.EstimateErrPct = Result.EstimateErrorPct;
   // The steady/warmup split comes from the run's own trace stream; a
   // grid without tracing (or with a filter missing the needed kinds)
   // reports the verdict as unknown rather than guessing.

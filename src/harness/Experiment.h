@@ -139,6 +139,18 @@ struct RunResult {
   uint64_t SharedCodeBytes = 0;
   uint64_t PrivateCodeBytes = 0;
 
+  /// Budget-organizer activity (all zero under the default threshold
+  /// organizer; see core/BudgetOrganizer.h). EstimateErrorPct is the
+  /// size-estimator calibration's running mean absolute error — fed on
+  /// every install regardless of organizer, so it is nonzero whenever
+  /// anything compiled. Kept out of the frozen grid CSV like the OSR and
+  /// share counters; the metrics CSV carries them
+  /// (`budget_spent,budget_pruned,estimate_err_pct`).
+  uint64_t BudgetUnitsSpent = 0;
+  uint64_t BudgetCandidatesAccepted = 0;
+  uint64_t BudgetCandidatesPruned = 0;
+  double EstimateErrorPct = 0.0;
+
   /// Warm-start provenance (all zero/false on a cold start, i.e. without
   /// RunConfig::WarmStart). Applied/Dropped aggregate every profile
   /// section (traces, decisions, hot methods, refusals); a large Dropped
@@ -244,6 +256,12 @@ struct RunMetrics {
   uint64_t ShareCyclesSaved = 0;
   uint64_t SharedBytes = 0;
   uint64_t PrivateBytes = 0;
+  /// Budget-organizer activity of the best trial (zero under the
+  /// threshold organizer; see RunResult). Appended to the metrics CSV as
+  /// `budget_spent,budget_pruned,estimate_err_pct`.
+  uint64_t BudgetSpent = 0;
+  uint64_t BudgetPruned = 0;
+  double EstimateErrPct = 0.0;
   /// Steady-state verdict for the best trial (see SteadyState.h). Known
   /// only when the run traced the kinds detection needs
   /// (steadyStateKindMask()); SteadyReached/Warmup/Steady are meaningful

@@ -220,6 +220,7 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
   uint64_t TotalEvictions = 0;
   uint64_t TotalFusedRuns = 0, TotalFusedBytes = 0;
   uint64_t TotalShareHits = 0, TotalSharePublishes = 0, TotalShareSaved = 0;
+  uint64_t TotalBudgetSpent = 0, TotalBudgetPruned = 0;
   uint64_t WarmRuns = 0, TotalWarmApplied = 0, TotalWarmDropped = 0;
   unsigned MaxWorker = 0;
   unsigned SteadyKnown = 0, SteadyReached = 0;
@@ -247,6 +248,8 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
     TotalShareHits += M.ShareHits;
     TotalSharePublishes += M.SharePublishes;
     TotalShareSaved += M.ShareCyclesSaved;
+    TotalBudgetSpent += M.BudgetSpent;
+    TotalBudgetPruned += M.BudgetPruned;
     WarmRuns += M.WarmStarted;
     TotalWarmApplied += M.WarmApplied;
     TotalWarmDropped += M.WarmDropped;
@@ -291,6 +294,12 @@ std::string aoci::reportRunMetrics(const GridResults &Results) {
         static_cast<unsigned long long>(TotalShareHits),
         static_cast<unsigned long long>(TotalSharePublishes),
         static_cast<unsigned long long>(TotalShareSaved));
+  if (TotalBudgetSpent + TotalBudgetPruned != 0)
+    Out += formatString(
+        "  budget organizer: %llu candidate units accepted, %llu "
+        "candidates pruned across the sweep\n",
+        static_cast<unsigned long long>(TotalBudgetSpent),
+        static_cast<unsigned long long>(TotalBudgetPruned));
   if (WarmRuns != 0)
     Out += formatString(
         "  warm start: %llu run(s) seeded from a profile (%llu entries "

@@ -7,6 +7,9 @@
 
 #include "opt/SizeEstimator.h"
 
+#include "support/Audit.h"
+#include "support/StringUtils.h"
+
 #include <cmath>
 
 using namespace aoci;
@@ -27,13 +30,69 @@ unsigned popcount32(uint32_t X) {
 unsigned aoci::inlinedSizeEstimate(const Program &P, MethodId Callee,
                                    uint32_t ConstArgMask) {
   const Method &M = P.method(Callee);
+  // Only bits that name an actual parameter of the callee may claim the
+  // footnote-1 constant-folding reduction; a stale or corrupted mask must
+  // not understate the size (the budget organizer's calibration loop would
+  // otherwise learn from phantom reductions).
+  const uint32_t ArityMask =
+      M.NumParams >= 32 ? ~0u : ((1u << M.NumParams) - 1u);
+  if (audit::enabled() && (ConstArgMask & ~ArityMask) != 0)
+    audit::check(false, "inlinedSizeEstimate",
+                 formatString("ConstArgMask 0x%x has bits beyond callee %u's "
+                              "%u parameters",
+                              ConstArgMask, Callee, unsigned(M.NumParams)));
+  const uint32_t EffectiveMask = ConstArgMask & ArityMask;
   const unsigned Raw = M.machineSize();
-  double Fraction = 1.0 - ConstArgReduction * popcount32(ConstArgMask);
+  double Fraction = 1.0 - ConstArgReduction * popcount32(EffectiveMask);
   if (Fraction < MinSizeFraction)
     Fraction = MinSizeFraction;
   unsigned Estimate =
       static_cast<unsigned>(std::ceil(static_cast<double>(Raw) * Fraction));
   return Estimate == 0 ? 1 : Estimate;
+}
+
+//===----------------------------------------------------------------------===//
+// SizeCalibration
+//===----------------------------------------------------------------------===//
+
+void SizeCalibration::observe(uint64_t EstimatedUnits,
+                              uint64_t MeasuredUnits) {
+  if (EstimatedUnits == 0 || MeasuredUnits == 0)
+    return;
+  const double Ratio = static_cast<double>(MeasuredUnits) /
+                       static_cast<double>(EstimatedUnits);
+  if (Samples == 0)
+    Ema = Ratio;
+  else
+    Ema = (1.0 - Alpha) * Ema + Alpha * Ratio;
+  const double ErrPct =
+      std::fabs(static_cast<double>(EstimatedUnits) -
+                static_cast<double>(MeasuredUnits)) /
+      static_cast<double>(MeasuredUnits) * 100.0;
+  ErrPctSum += ErrPct;
+  ++Samples;
+}
+
+double SizeCalibration::factor() const {
+  if (Samples == 0)
+    return 1.0;
+  double F = Ema;
+  if (F < MinFactor)
+    F = MinFactor;
+  if (F > MaxFactor)
+    F = MaxFactor;
+  return F;
+}
+
+double SizeCalibration::meanAbsErrorPct() const {
+  return Samples == 0 ? 0.0 : ErrPctSum / static_cast<double>(Samples);
+}
+
+uint64_t SizeCalibration::calibrated(uint64_t RawEstimate) const {
+  const double Scaled =
+      std::ceil(static_cast<double>(RawEstimate) * factor());
+  const uint64_t Result = static_cast<uint64_t>(Scaled);
+  return Result == 0 ? 1 : Result;
 }
 
 SizeClass aoci::siteSizeClass(const Program &P, MethodId Callee,

@@ -37,6 +37,39 @@ unsigned inlinedSizeEstimate(const Program &P, MethodId Callee,
 SizeClass siteSizeClass(const Program &P, MethodId Callee,
                         uint32_t ConstArgMask);
 
+/// Online calibration of the static estimator against measured compiled
+/// sizes fed back from CodeManager installs. Tracks an exponential moving
+/// average of the measured/estimated ratio (clamped so one pathological
+/// compile cannot swing pricing) plus the running mean absolute error,
+/// which the harness exports so estimator drift is observable.
+class SizeCalibration {
+public:
+  /// Feeds back one compile: the estimator predicted \p EstimatedUnits,
+  /// the compiler measured \p MeasuredUnits. Zero inputs are ignored.
+  void observe(uint64_t EstimatedUnits, uint64_t MeasuredUnits);
+
+  /// Multiplier to apply to a raw estimate; 1.0 until the first sample.
+  double factor() const;
+
+  /// Mean of |estimated - measured| / measured over all samples, as a
+  /// percentage; 0 until the first sample.
+  double meanAbsErrorPct() const;
+
+  /// Raw estimate scaled by factor(), never 0.
+  uint64_t calibrated(uint64_t RawEstimate) const;
+
+  uint64_t samples() const { return Samples; }
+
+private:
+  static constexpr double Alpha = 0.25;
+  static constexpr double MinFactor = 0.5;
+  static constexpr double MaxFactor = 4.0;
+
+  double Ema = 1.0;
+  double ErrPctSum = 0.0;
+  uint64_t Samples = 0;
+};
+
 } // namespace aoci
 
 #endif // AOCI_OPT_SIZEESTIMATOR_H

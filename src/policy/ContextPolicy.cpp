@@ -142,11 +142,17 @@ unsigned ImprecisionTable::raise(MethodId Caller, BytecodeIndex Site,
   Entry &E = Entries[key(Caller, Site)];
   if (E.GaveUp || E.Resolved)
     return E.GaveUp ? 1 : E.Depth;
-  if (E.Raises >= GiveUpAfter || E.Depth >= MaxDepth) {
-    // Still unresolved at the deepest context we are willing to pay for:
-    // the site is inherently too polymorphic.
+  if (E.Raises >= GiveUpAfter) {
+    // Burned every raise without resolving: the site is inherently too
+    // polymorphic, so stop paying for context it cannot use.
     E.GaveUp = true;
     return 1;
+  }
+  if (E.Depth >= MaxDepth) {
+    // Hit the depth cap with raises to spare: the context collected so
+    // far is still useful, so freeze at the cap instead of discarding it.
+    E.Resolved = true;
+    return E.Depth;
   }
   ++E.Raises;
   ++E.Depth;

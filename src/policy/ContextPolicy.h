@@ -196,8 +196,12 @@ public:
   unsigned depthFor(MethodId Caller, BytecodeIndex Site) const;
 
   /// Requests one more level of context for the site, up to \p MaxDepth.
-  /// After \p GiveUpAfter consecutive raises without resolution the site
-  /// is abandoned (depth returns to 1). Returns the new depth.
+  /// Reaching the depth cap with raises to spare freezes the site at
+  /// \p MaxDepth (resolved): exhausting the budget is a statement about the
+  /// profiler's patience, not about the site's polymorphism. Only after
+  /// \p GiveUpAfter raises without resolution is the site declared
+  /// inherently too polymorphic and abandoned (depth returns to 1).
+  /// Returns the new depth.
   unsigned raise(MethodId Caller, BytecodeIndex Site, unsigned MaxDepth,
                  unsigned GiveUpAfter = 3);
 

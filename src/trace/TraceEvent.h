@@ -90,9 +90,15 @@ enum class TraceEventKind : uint8_t {
   /// the entry is tombstoned and every session that installed it deopts
   /// and rematerializes, exactly like a private code-cache eviction.
   ShareEvict,
+  /// One pricing decision by the budget organizer (`--organizer budget`):
+  /// a candidate callee priced against the caller's remaining size budget
+  /// with measured units (from the AosDatabase compile ledger) or a
+  /// calibrated estimate. Emitted uncharged from the AI-organizer track
+  /// so budget and threshold runs stay cycle-comparable.
+  BudgetDecision,
 };
 
-constexpr unsigned NumTraceEventKinds = 20;
+constexpr unsigned NumTraceEventKinds = 21;
 
 /// Stable kebab-case names (JSON `name` field, `--trace-filter` tokens).
 const char *traceEventKindName(TraceEventKind K);

@@ -254,6 +254,15 @@ void writeArgs(std::ostream &OS, const TraceSink &Sink, const TraceEvent &E) {
     intArg(OS, First, "publishSeq", E.C);
     intArg(OS, First, "installers", E.D);
     break;
+  case TraceEventKind::BudgetDecision:
+    methodArg(OS, First, "method", Sink, E.Method);
+    methodArg(OS, First, "callee", Sink, static_cast<uint32_t>(E.A));
+    intArg(OS, First, "units", E.B);
+    intArg(OS, First, "remaining", E.C);
+    boolArg(OS, First, "accepted", E.D != 0);
+    boolArg(OS, First, "measured", E.E != 0);
+    numArg(OS, First, "weight", E.X);
+    break;
   }
   OS << "}";
 }

@@ -59,6 +59,8 @@ const char *aoci::traceEventKindName(TraceEventKind K) {
     return "share-hit";
   case TraceEventKind::ShareEvict:
     return "share-evict";
+  case TraceEventKind::BudgetDecision:
+    return "budget-decision";
   }
   return "<invalid>";
 }

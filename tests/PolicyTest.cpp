@@ -182,10 +182,58 @@ TEST(ImprecisionTableTest, RaiseClimbsTowardMax) {
   EXPECT_EQ(T.raise(3, 7, /*MaxDepth=*/4, /*GiveUpAfter=*/10), 2u);
   EXPECT_EQ(T.raise(3, 7, 4, 10), 3u);
   EXPECT_EQ(T.raise(3, 7, 4, 10), 4u);
-  // At max depth and still unresolved: the site is abandoned.
-  EXPECT_EQ(T.raise(3, 7, 4, 10), 1u);
-  EXPECT_TRUE(T.gaveUp(3, 7));
-  EXPECT_EQ(T.depthFor(3, 7), 1u);
+  // Hitting the depth cap with raises to spare freezes the site at the
+  // cap — running out of depth is not evidence of polymorphism.
+  EXPECT_EQ(T.raise(3, 7, 4, 10), 4u);
+  EXPECT_FALSE(T.gaveUp(3, 7));
+  EXPECT_TRUE(T.isResolved(3, 7));
+  EXPECT_EQ(T.depthFor(3, 7), 4u);
+}
+
+TEST(ImprecisionTableTest, CapFreezeIsSticky) {
+  ImprecisionTable T;
+  for (int I = 0; I != 3; ++I)
+    T.raise(3, 7, /*MaxDepth=*/4, /*GiveUpAfter=*/10);
+  T.raise(3, 7, 4, 10); // freezes at the cap
+  // Further raises never flip a cap-frozen site into give-up, even once
+  // the raise count passes GiveUpAfter.
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(T.raise(3, 7, 4, 10), 4u);
+  EXPECT_FALSE(T.gaveUp(3, 7));
+  EXPECT_TRUE(T.isResolved(3, 7));
+  EXPECT_EQ(T.depthFor(3, 7), 4u);
+}
+
+TEST(ImprecisionTableTest, GiveUpRequiresExhaustedRaises) {
+  ImprecisionTable T;
+  // Deep cap, tight raise budget: the budget runs out before the cap.
+  T.raise(8, 1, /*MaxDepth=*/10, /*GiveUpAfter=*/2);
+  T.raise(8, 1, 10, 2);
+  EXPECT_EQ(T.raise(8, 1, 10, 2), 1u) << "raises exhausted: abandoned";
+  EXPECT_TRUE(T.gaveUp(8, 1));
+  EXPECT_FALSE(T.isResolved(8, 1));
+  EXPECT_EQ(T.depthFor(8, 1), 1u);
+  // Give-up is terminal: later raises keep returning depth 1.
+  EXPECT_EQ(T.raise(8, 1, 10, 2), 1u);
+  EXPECT_TRUE(T.gaveUp(8, 1));
+}
+
+TEST(ImprecisionTableTest, SitesAreIndependent) {
+  ImprecisionTable T;
+  // Site A freezes at the cap; site B gives up; site C resolves early.
+  for (int I = 0; I != 4; ++I)
+    T.raise(1, 1, /*MaxDepth=*/3, /*GiveUpAfter=*/10);
+  for (int I = 0; I != 3; ++I)
+    T.raise(2, 2, /*MaxDepth=*/10, /*GiveUpAfter=*/2);
+  T.raise(3, 3, /*MaxDepth=*/10, /*GiveUpAfter=*/10);
+  T.markResolved(3, 3);
+  EXPECT_TRUE(T.isResolved(1, 1));
+  EXPECT_EQ(T.depthFor(1, 1), 3u);
+  EXPECT_TRUE(T.gaveUp(2, 2));
+  EXPECT_EQ(T.depthFor(2, 2), 1u);
+  EXPECT_TRUE(T.isResolved(3, 3));
+  EXPECT_EQ(T.depthFor(3, 3), 2u);
+  EXPECT_EQ(T.numTrackedSites(), 3u);
 }
 
 TEST(ImprecisionTableTest, GiveUpAfterBoundsRaises) {

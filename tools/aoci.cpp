@@ -60,11 +60,13 @@ int usage() {
       "  aoci run <workload> [--policy P] [--depth N] [--scale X]\n"
       "           [--seed N] [--osr on|off] [--code-cache BYTES]\n"
       "           [--fuse on|off|level=N] [--plans] [--trace-stats]\n"
+      "           [--organizer threshold|budget] [budget knobs]\n"
       "           [--profile-out FILE] [--warm-start FILE]\n"
       "           [--save-profile FILE] [--load-profile FILE]\n"
       "  aoci grid [--workloads a,b] [--policies p,q] [--depths 2,3]\n"
       "            [--scale X] [--trials N] [--jobs N] [--osr on|off]\n"
       "            [--code-cache BYTES] [--fuse on|off|level=N]\n"
+      "            [--organizer threshold|budget] [budget knobs]\n"
       "            [--csv FILE] [--metrics-csv FILE] [--metrics]\n"
       "            [--trace-out FILE] [--trace-filter kinds]\n"
       "            [--profile-out DIR] [--warm-start FILE]\n"
@@ -73,6 +75,7 @@ int usage() {
       "             [--policy P] [--depth N] [--scale X] [--seed N]\n"
       "             [--trials N] [--max-events N] [--osr on|off]\n"
       "             [--code-cache BYTES] [--fuse on|off|level=N]\n"
+      "             [--organizer threshold|budget] [budget knobs]\n"
       "             [--profile-out FILE] [--warm-start FILE]\n"
       "  aoci disasm <workload> [method]\n"
       "  aoci fuzz [--seed N] [--budget N] [--policy-a P] [--depth-a N]\n"
@@ -89,6 +92,7 @@ int usage() {
       "             [--scale X] [--seed N] [--slice CYCLES] [--stagger N]\n"
       "             [--share-cache BYTES|off] [--code-cache BYTES]\n"
       "             [--osr on|off] [--fuse on|off|level=N] [--jobs N]\n"
+      "             [--organizer threshold|budget] [budget knobs]\n"
       "             [--csv FILE] [--trace-out FILE] [--trace-filter kinds]\n"
       "             [--warm-start FILE]\n"
       "policies: cins fixed paramLess class large hybrid1 hybrid2 "
@@ -112,6 +116,16 @@ int usage() {
       "  live sessions.\n"
       "--osr: transfer live activations onto replacement code at loop\n"
       "  backedges (on-stack replacement + deoptimization); default off\n"
+      "--organizer: how inlining rules are codified from the DCG.\n"
+      "  'threshold' (default) is the paper's 1.5%% hot-trace organizer;\n"
+      "  'budget' prices candidates with measured compiled sizes (falling\n"
+      "  back to a self-calibrating estimate for never-compiled callees)\n"
+      "  under per-caller inflation and global exploration budgets.\n"
+      "  Budget knobs: --budget-inflation F (per-caller budget = caller\n"
+      "  units x F + slack; default 2.5), --budget-slack U (default 80),\n"
+      "  --budget-explore U (per-wakeup pool for estimate-priced\n"
+      "  candidates; default 600), --budget-min-weight W (candidate noise\n"
+      "  floor; default 1.5). Emits uncharged budget-decision trace events.\n"
       "--code-cache: bound total installed code bytes; victims are chosen\n"
       "  deterministically (least-recently-invoked by simulated cycle) and\n"
       "  live activations deoptimize first; 0 (default) = unbounded\n"
@@ -258,6 +272,66 @@ struct Args {
   bool done() const { return Pos >= Argc; }
 };
 
+/// Parses an `--organizer threshold|budget` value.
+bool parseOrganizer(const std::string &Value, InlineOrganizerKind &Kind) {
+  if (Value == "threshold") {
+    Kind = InlineOrganizerKind::Threshold;
+    return true;
+  }
+  if (Value == "budget") {
+    Kind = InlineOrganizerKind::Budget;
+    return true;
+  }
+  std::fprintf(stderr, "--organizer takes 'threshold' or 'budget', not '%s'\n",
+               Value.c_str());
+  return false;
+}
+
+/// Handles the organizer/budget flags shared by run, grid, trace, and
+/// serve. Returns 0 when the cursor is not at one of them, 1 when one
+/// parsed, -1 on a parse error (already reported to stderr).
+int tryOrganizerFlags(Args &A, AosSystemConfig &Aos) {
+  std::string Value;
+  if (A.flag("--organizer", Value))
+    return parseOrganizer(Value, Aos.Organizer) ? 1 : -1;
+  if (A.flag("--budget-inflation", Value)) {
+    const double X = std::atof(Value.c_str());
+    if (X <= 0) {
+      std::fprintf(stderr,
+                   "--budget-inflation takes a positive factor, not '%s'\n",
+                   Value.c_str());
+      return -1;
+    }
+    Aos.Budget.InflationFactor = X;
+    return 1;
+  }
+  if (A.flag("--budget-slack", Value))
+    return parseUnsigned("--budget-slack", Value,
+                         std::numeric_limits<uint64_t>::max(),
+                         Aos.Budget.SlackUnits)
+               ? 1
+               : -1;
+  if (A.flag("--budget-explore", Value))
+    return parseUnsigned("--budget-explore", Value,
+                         std::numeric_limits<uint64_t>::max(),
+                         Aos.Budget.ExplorationUnits)
+               ? 1
+               : -1;
+  if (A.flag("--budget-min-weight", Value)) {
+    const double X = std::atof(Value.c_str());
+    if (X < 0) {
+      std::fprintf(stderr,
+                   "--budget-min-weight takes a non-negative weight, "
+                   "not '%s'\n",
+                   Value.c_str());
+      return -1;
+    }
+    Aos.Budget.MinCandidateWeight = X;
+    return 1;
+  }
+  return 0;
+}
+
 /// Reads and parses a `--warm-start` v2 profile file. Parse warnings
 /// (unknown sections/keys under the forward-compat rules) go to stderr;
 /// errors carry the line/section/token diagnostic from parseProfile().
@@ -373,6 +447,9 @@ int cmdRun(int Argc, char **Argv) {
     } else if (A.flag("--fuse", Value)) {
       if (!parseFuse(Value, Model.Fuse))
         return 1;
+    } else if (int R = tryOrganizerFlags(A, AosConfig)) {
+      if (R < 0)
+        return 1;
     } else if (A.boolFlag("--plans")) {
       ShowPlans = true;
     } else if (A.boolFlag("--trace-stats")) {
@@ -456,6 +533,15 @@ int cmdRun(int Argc, char **Argv) {
                   VM.counters().InlinedCallsEntered),
               static_cast<unsigned long long>(
                   VM.counters().GuardFallbacks));
+  if (AosConfig.Organizer == InlineOrganizerKind::Budget) {
+    const AosStats &S = Aos.stats();
+    std::printf("budget         %llu candidate units accepted "
+                "(%llu candidates), %llu pruned; estimator error %.1f%%\n",
+                static_cast<unsigned long long>(S.BudgetUnitsSpent),
+                static_cast<unsigned long long>(S.BudgetCandidatesAccepted),
+                static_cast<unsigned long long>(S.BudgetCandidatesPruned),
+                Aos.calibration().meanAbsErrorPct());
+  }
   if (AosConfig.Osr.Enabled) {
     const OsrStats &S = Aos.osrStats();
     std::printf("osr            %llu entries, %llu deopts (%llu frames); "
@@ -585,6 +671,9 @@ int cmdTrace(int Argc, char **Argv) {
     } else if (A.flag("--fuse", Value)) {
       if (!parseFuse(Value, Config.Model.Fuse))
         return 1;
+    } else if (int R = tryOrganizerFlags(A, Config.Aos)) {
+      if (R < 0)
+        return 1;
     } else if (A.flag("--profile-out", Value)) {
       ProfileOut = Value;
     } else if (A.flag("--warm-start", Value)) {
@@ -709,6 +798,9 @@ int cmdGrid(int Argc, char **Argv) {
         return 1;
     } else if (A.flag("--fuse", Value)) {
       if (!parseFuse(Value, Config.Model.Fuse))
+        return 1;
+    } else if (int R = tryOrganizerFlags(A, Config.Aos)) {
+      if (R < 0)
         return 1;
     } else if (A.flag("--csv", Value)) {
       Csv = Value;
@@ -1169,6 +1261,9 @@ int cmdServe(int Argc, char **Argv) {
         return 1;
     } else if (A.flag("--fuse", Value)) {
       if (!parseFuse(Value, Config.Model.Fuse))
+        return 1;
+    } else if (int R = tryOrganizerFlags(A, Config.Aos)) {
+      if (R < 0)
         return 1;
     } else if (A.flag("--jobs", Value)) {
       if (!parseUnsigned32("--jobs", Value, Jobs))

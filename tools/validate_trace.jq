@@ -114,6 +114,12 @@ def typespec:
       tids: [2],
       req: {method: "string", level: "number", codeBytes: "number",
             publishSeq: "number", installers: "number"}
+    },
+    "budget-decision": {
+      tids: [4],
+      req: {method: "string", callee: "string", units: "number",
+            remaining: "number", accepted: "boolean",
+            measured: "boolean", weight: "number"}
     }
   };
 
